@@ -1,0 +1,129 @@
+package hmg
+
+// Benchmark harness: one testing.B benchmark per table/figure of the
+// paper. Each iteration regenerates the corresponding result on a
+// fresh Runner at a reduced scale (the cmd/hmgbench tool runs the
+// full-scale versions recorded in EXPERIMENTS.md). The benchmarks
+// report simulator throughput (simulated cycles and events per second
+// of wall time) alongside Go's usual metrics.
+
+import (
+	"testing"
+
+	"hmg/internal/experiments"
+	"hmg/internal/report"
+)
+
+const benchScale = 0.25
+
+func benchRunner() *experiments.Runner {
+	return experiments.NewRunner(experiments.Options{Scale: benchScale, SMsPerGPM: 8})
+}
+
+func runFig(b *testing.B, fig func(*experiments.Runner) (*report.Table, error)) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab, err := fig(benchRunner())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates the remote-caching motivation study.
+func BenchmarkFig2(b *testing.B) { runFig(b, experiments.Fig2) }
+
+// BenchmarkFig3 regenerates the inter-GPU redundancy profile.
+func BenchmarkFig3(b *testing.B) { runFig(b, experiments.Fig3) }
+
+// BenchmarkFig7 regenerates the simulator calibration sweep.
+func BenchmarkFig7(b *testing.B) { runFig(b, experiments.Fig7) }
+
+// BenchmarkFig8 regenerates the main five-protocol comparison.
+func BenchmarkFig8(b *testing.B) { runFig(b, experiments.Fig8) }
+
+// BenchmarkFig9 regenerates the store-invalidation profile.
+func BenchmarkFig9(b *testing.B) { runFig(b, experiments.Fig9) }
+
+// BenchmarkFig10 regenerates the eviction-invalidation profile.
+func BenchmarkFig10(b *testing.B) { runFig(b, experiments.Fig10) }
+
+// BenchmarkFig11 regenerates the invalidation-bandwidth profile.
+func BenchmarkFig11(b *testing.B) { runFig(b, experiments.Fig11) }
+
+// BenchmarkFig12 regenerates the inter-GPU bandwidth sensitivity sweep.
+func BenchmarkFig12(b *testing.B) { runFig(b, experiments.Fig12) }
+
+// BenchmarkFig13 regenerates the L2 capacity sensitivity sweep.
+func BenchmarkFig13(b *testing.B) { runFig(b, experiments.Fig13) }
+
+// BenchmarkFig14 regenerates the directory size sensitivity sweep.
+func BenchmarkFig14(b *testing.B) { runFig(b, experiments.Fig14) }
+
+// BenchmarkGranularity regenerates the §VII-B granularity study.
+func BenchmarkGranularity(b *testing.B) { runFig(b, experiments.Granularity) }
+
+// BenchmarkTableIII regenerates the benchmark inventory (trace
+// generation only).
+func BenchmarkTableIII(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.TableIII(benchRunner()); len(tab.Rows) != 20 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (the
+// Fig. 7 wall-clock axis): simulated cycles and events per wall second
+// on one mid-size workload.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := DefaultConfig(ProtocolHMG)
+	b.ReportAllocs()
+	var cycles, events uint64
+	for i := 0; i < b.N; i++ {
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err := GenerateBenchmark("lstm", cfg, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sys.Run(tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += uint64(res.Cycles)
+		events += res.EventsExecuted
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkDowngradeAblation regenerates the Section IV downgrade-option
+// ablation.
+func BenchmarkDowngradeAblation(b *testing.B) { runFig(b, experiments.DowngradeAblation) }
+
+// BenchmarkWriteBackAblation regenerates the write-back vs write-through
+// design-option ablation.
+func BenchmarkWriteBackAblation(b *testing.B) { runFig(b, experiments.WriteBackAblation) }
+
+// BenchmarkGPMScope regenerates the Section VII-D .gpm-scope study.
+func BenchmarkGPMScope(b *testing.B) { runFig(b, experiments.GPMScopeStudy) }
+
+// BenchmarkScaling regenerates the Section VII-D GPU-count scaling study.
+func BenchmarkScaling(b *testing.B) { runFig(b, experiments.ScalingStudy) }
+
+// BenchmarkRelatedProtocols regenerates the CARVE comparison.
+func BenchmarkRelatedProtocols(b *testing.B) { runFig(b, experiments.RelatedProtocols) }
+
+// BenchmarkLocalityAblation regenerates the locality-policy ablation.
+func BenchmarkLocalityAblation(b *testing.B) { runFig(b, experiments.LocalityAblation) }
+
+// BenchmarkMCAStudy regenerates the Section III-B multi-copy-atomicity
+// cost study.
+func BenchmarkMCAStudy(b *testing.B) { runFig(b, experiments.MCAStudy) }

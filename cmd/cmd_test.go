@@ -1,0 +1,99 @@
+// Package cmd_test smoke-tests the command-line tools end to end: each
+// binary is built with the local toolchain and driven through its main
+// flows.
+package cmd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// build compiles one tool into a temp dir and returns the binary path.
+func build(t *testing.T, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, "./"+pkg)
+	cmd.Dir = ".."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", bin, args, err, out)
+	}
+	return string(out)
+}
+
+func TestHmgtraceFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI build in -short mode")
+	}
+	bin := build(t, "cmd/hmgtrace")
+	list := run(t, bin, "list")
+	if !strings.Contains(list, "nw-16K") || !strings.Contains(list, "mst") {
+		t.Fatalf("list output missing benchmarks:\n%s", list)
+	}
+	file := filepath.Join(t.TempDir(), "t.hmgt")
+	gen := run(t, bin, "gen", "-bench", "overfeat", "-scale", "0.1", "-o", file)
+	if !strings.Contains(gen, "wrote") {
+		t.Fatalf("gen output: %s", gen)
+	}
+	if fi, err := os.Stat(file); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file missing: %v", err)
+	}
+	info := run(t, bin, "info", file)
+	if !strings.Contains(info, "overfeat") || !strings.Contains(info, "kernels:   2") {
+		t.Fatalf("info output:\n%s", info)
+	}
+	fig3 := run(t, bin, "fig3", "-bench", "lstm", "-scale", "0.1")
+	if !strings.Contains(fig3, "%") {
+		t.Fatalf("fig3 output: %s", fig3)
+	}
+}
+
+func TestHmgsimFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI build in -short mode")
+	}
+	bin := build(t, "cmd/hmgsim")
+	out := run(t, bin, "-bench", "overfeat", "-protocol", "HMG", "-scale", "0.1", "-sms", "4")
+	for _, want := range []string{"benchmark:", "cycles:", "L2 hit rate:", "inter-GPU traffic:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("hmgsim output missing %q:\n%s", want, out)
+		}
+	}
+	// Unknown protocol errors out.
+	if _, err := exec.Command(bin, "-bench", "overfeat", "-protocol", "nope").CombinedOutput(); err == nil {
+		t.Fatal("hmgsim accepted unknown protocol")
+	}
+}
+
+func TestHmgbenchSingleFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI build in -short mode")
+	}
+	bin := build(t, "cmd/hmgbench")
+	out := run(t, bin, "-fig", "cost")
+	if !strings.Contains(out, "55.00") {
+		t.Fatalf("hmgbench cost output:\n%s", out)
+	}
+	md := run(t, bin, "-fig", "cost", "-format", "md")
+	if !strings.Contains(md, "| bits per entry | 55.00 |") {
+		t.Fatalf("markdown output:\n%s", md)
+	}
+	csv := run(t, bin, "-fig", "cost", "-format", "csv")
+	if !strings.Contains(csv, "bits per entry,55.00") {
+		t.Fatalf("csv output:\n%s", csv)
+	}
+	if _, err := exec.Command(bin, "-fig", "nosuch").CombinedOutput(); err == nil {
+		t.Fatal("hmgbench accepted unknown figure")
+	}
+}

@@ -1,0 +1,92 @@
+// Command hmgbench regenerates the paper's tables and figures on the
+// simulator.
+//
+// Usage:
+//
+//	hmgbench -fig 8                 # one figure
+//	hmgbench -fig all               # everything (the EXPERIMENTS.md run)
+//	hmgbench -fig 12 -scale 0.5 -v  # faster sweep with progress output
+//
+// Figures: 2, 3, 7, 8, 9, 10, 11, 12, 13, 14, granularity, tableII,
+// tableIII, cost.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hmg/internal/experiments"
+	"hmg/internal/report"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate (2,3,7,8,9,10,11,12,13,14,granularity,downgrade,writeback,gpmscope,scaling,carve,locality,mca,tableII,tableIII,cost,all)")
+	scale := flag.Float64("scale", 1.0, "workload scale in (0,1]")
+	sms := flag.Int("sms", 8, "modeled SMs per GPM")
+	verbose := flag.Bool("v", false, "log each simulation run")
+	format := flag.String("format", "text", "output format: text, csv, or md")
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	opts.Scale = *scale
+	opts.SMsPerGPM = *sms
+	if *verbose {
+		opts.Log = os.Stderr
+	}
+	r := experiments.NewRunner(opts)
+
+	type gen struct {
+		name string
+		run  func(*experiments.Runner) (*report.Table, error)
+	}
+	gens := []gen{
+		{"tableII", func(r *experiments.Runner) (*report.Table, error) { return experiments.TableII(r), nil }},
+		{"tableIII", func(r *experiments.Runner) (*report.Table, error) { return experiments.TableIII(r), nil }},
+		{"cost", func(r *experiments.Runner) (*report.Table, error) { return experiments.HardwareCost(r), nil }},
+		{"3", experiments.Fig3},
+		{"7", experiments.Fig7},
+		{"2", experiments.Fig2},
+		{"8", experiments.Fig8},
+		{"9", experiments.Fig9},
+		{"10", experiments.Fig10},
+		{"11", experiments.Fig11},
+		{"12", experiments.Fig12},
+		{"13", experiments.Fig13},
+		{"14", experiments.Fig14},
+		{"granularity", experiments.Granularity},
+		{"downgrade", experiments.DowngradeAblation},
+		{"writeback", experiments.WriteBackAblation},
+		{"gpmscope", experiments.GPMScopeStudy},
+		{"scaling", experiments.ScalingStudy},
+		{"carve", experiments.RelatedProtocols},
+		{"locality", experiments.LocalityAblation},
+		{"mca", experiments.MCAStudy},
+	}
+	want := strings.ToLower(*fig)
+	ran := false
+	for _, g := range gens {
+		if want != "all" && want != strings.ToLower(g.name) {
+			continue
+		}
+		ran = true
+		t, err := g.run(r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hmgbench: figure %s: %v\n", g.name, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "csv":
+			fmt.Println(t.CSV())
+		case "md":
+			fmt.Println(t.Markdown())
+		default:
+			fmt.Println(t.String())
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "hmgbench: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,53 @@
+// Quickstart: simulate one benchmark on the paper's Table II system
+// under the HMG protocol and print the headline metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hmg"
+)
+
+func main() {
+	// The Table II machine: 4 GPUs × 4 GPU modules, 12MB of L2 and 12K
+	// directory entries per GPU, 200 GB/s inter-GPU links at 1.3 GHz.
+	cfg := hmg.DefaultConfig(hmg.ProtocolHMG)
+
+	sys, err := hmg.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The Needleman-Wunsch benchmark: 20 dependent kernel launches over
+	// a shared wavefront — the workload where hierarchical hardware
+	// coherence shines (paper Fig. 8).
+	tr, err := hmg.GenerateBenchmark("nw-16K", cfg, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := sys.Run(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("ran %s under %v\n", tr.Name, cfg.Policy.Kind)
+	fmt.Printf("  %d memory ops over %d kernels\n", res.Ops, len(res.KernelCycles))
+	fmt.Printf("  %d cycles (%.3f ms at 1.3 GHz)\n", res.Cycles, res.Seconds*1e3)
+	fmt.Printf("  L2 hit rate %.2f, inter-GPU traffic %.1f GB/s\n", res.L2HitRate(), res.InterGPUGBs())
+	fmt.Printf("  invalidation traffic %.2f GB/s (paper Fig. 11 metric)\n", res.InvBandwidthGBs())
+
+	// Normalized speedup over a system that cannot cache remote-GPU
+	// data, the metric every figure of the paper reports.
+	sp, err := hmg.Speedup("nw-16K", cfg, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  speedup over no-remote-caching baseline: %.2fx\n", sp)
+
+	// The Section VII-C hardware-cost analysis.
+	cost := hmg.HardwareCost(cfg)
+	fmt.Printf("directory cost: %d bits/entry, %d KB per GPM (%.1f%% of the L2 slice)\n",
+		cost.BitsPerEntry, cost.BytesPerGPM/1024, 100*cost.L2Fraction)
+}

@@ -1,0 +1,3 @@
+module hmg
+
+go 1.22

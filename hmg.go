@@ -1,0 +1,170 @@
+// Package hmg is a from-scratch reproduction of "HMG: Extending Cache
+// Coherence Protocols Across Modern Hierarchical Multi-GPU Systems"
+// (Ren, Lustig, Bolotin, Jaleel, Villa, Nellans — HPCA 2020).
+//
+// It provides a cycle-level simulator of hierarchical multi-GPU systems
+// (GPUs composed of GPU modules, with distributed L2 slices, coherence
+// directories, intra-GPU crossbars and bandwidth-limited inter-GPU
+// links), six coherence configurations including the paper's HMG
+// protocol, synthetic workload generators for the paper's 20-benchmark
+// suite, and an experiment harness that regenerates every table and
+// figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	cfg := hmg.DefaultConfig(hmg.ProtocolHMG)
+//	sys, _ := hmg.NewSystem(cfg)
+//	tr, _ := hmg.GenerateBenchmark("nw-16K", cfg, 0.5)
+//	res, _ := sys.Run(tr)
+//	fmt.Printf("%d cycles, %.1f GB/s inter-GPU\n", res.Cycles, res.InterGPUGBs())
+package hmg
+
+import (
+	"fmt"
+
+	"hmg/internal/directory"
+	"hmg/internal/gsim"
+	"hmg/internal/proto"
+	"hmg/internal/topo"
+	"hmg/internal/trace"
+	"hmg/internal/workload"
+)
+
+// Protocol selects a coherence configuration.
+type Protocol = proto.Kind
+
+// The six coherence configurations the paper compares (Section VI).
+const (
+	// ProtocolNoRemoteCaching disallows caching of remote-GPU data; the
+	// normalization baseline of every figure.
+	ProtocolNoRemoteCaching = proto.NoRemoteCache
+	// ProtocolSWNonHier is conventional software coherence with scopes
+	// on a flat multi-GPM system.
+	ProtocolSWNonHier = proto.SWNonHier
+	// ProtocolSWHier is the hierarchical software protocol.
+	ProtocolSWHier = proto.SWHier
+	// ProtocolNHCC is the non-hierarchical hardware protocol of
+	// Section IV.
+	ProtocolNHCC = proto.NHCC
+	// ProtocolHMG is the paper's contribution (Section V).
+	ProtocolHMG = proto.HMG
+	// ProtocolIdeal is idealized caching without coherence enforcement.
+	ProtocolIdeal = proto.Ideal
+)
+
+// Protocols returns all configurations in the paper's order.
+func Protocols() []Protocol { return proto.Kinds() }
+
+// ParseProtocol resolves a protocol by its display name.
+func ParseProtocol(s string) (Protocol, error) { return proto.ParseKind(s) }
+
+// Config is an alias of the simulator configuration; DefaultConfig
+// reproduces Table II.
+type Config = gsim.Config
+
+// Results is an alias of the simulation results.
+type Results = gsim.Results
+
+// Trace is an alias of the executable program representation.
+type Trace = trace.Trace
+
+// Addr is a global-memory byte address.
+type Addr = topo.Addr
+
+// DefaultConfig returns the paper's Table II system (4 GPUs × 4 GPMs,
+// 12MB L2 and 12K directory entries per GPU, 200 GB/s inter-GPU links at
+// 1.3 GHz) with 8 modeled SMs per GPM.
+func DefaultConfig(p Protocol) Config { return gsim.DefaultConfig(8, p) }
+
+// System is a simulated multi-GPU machine.
+type System struct {
+	sys *gsim.System
+}
+
+// NewSystem builds a system; the configuration is validated.
+func NewSystem(cfg Config) (*System, error) {
+	s, err := gsim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{sys: s}, nil
+}
+
+// Run executes a trace to completion.
+func (s *System) Run(tr *Trace) (*Results, error) { return s.sys.Run(tr) }
+
+// Raw exposes the underlying simulator for advanced inspection (cache
+// contents, DRAM values, per-link statistics).
+func (s *System) Raw() *gsim.System { return s.sys }
+
+// Benchmarks returns the Table III benchmark names in figure order.
+func Benchmarks() []string { return workload.Names() }
+
+// GenerateBenchmark synthesizes a Table III benchmark trace for the
+// given configuration's topology at the given scale in (0, 1].
+func GenerateBenchmark(name string, cfg Config, scale float64) (*Trace, error) {
+	p, err := workload.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return p.Generate(cfg.Topo, scale), nil
+}
+
+// HardwareCost reports the Section VII-C storage analysis of an HMG
+// coherence directory: bits per entry and total bytes per GPM for a
+// system of the given shape.
+type HardwareCostReport struct {
+	MaxSharers   int // M + N - 2
+	BitsPerEntry int
+	BytesPerGPM  int
+	L2Fraction   float64
+}
+
+// HardwareCost computes the directory storage cost for a configuration.
+func HardwareCost(cfg Config) HardwareCostReport {
+	const tagBits = 48
+	maxSharers := cfg.Topo.GPMsPerGPU - 1 + cfg.Topo.NumGPUs - 1
+	bytes := directory.StorageBytes(cfg.Dir.Entries, tagBits, maxSharers)
+	return HardwareCostReport{
+		MaxSharers:   maxSharers,
+		BitsPerEntry: directory.StorageBits(tagBits, maxSharers),
+		BytesPerGPM:  bytes,
+		L2Fraction:   float64(bytes) / float64(cfg.L2Slice.CapacityBytes),
+	}
+}
+
+// Speedup runs a benchmark under a protocol and under the no-caching
+// baseline on fresh systems, returning baselineCycles / protocolCycles —
+// the normalized speedup every figure of the paper reports.
+func Speedup(name string, cfg Config, scale float64) (float64, error) {
+	base := cfg
+	base.Policy = proto.For(proto.NoRemoteCache)
+	baseSys, err := NewSystem(base)
+	if err != nil {
+		return 0, err
+	}
+	tr, err := GenerateBenchmark(name, base, scale)
+	if err != nil {
+		return 0, err
+	}
+	baseRes, err := baseSys.Run(tr)
+	if err != nil {
+		return 0, err
+	}
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		return 0, err
+	}
+	tr2, err := GenerateBenchmark(name, cfg, scale)
+	if err != nil {
+		return 0, err
+	}
+	res, err := sys.Run(tr2)
+	if err != nil {
+		return 0, err
+	}
+	if res.Cycles == 0 {
+		return 0, fmt.Errorf("hmg: zero-cycle run")
+	}
+	return float64(baseRes.Cycles) / float64(res.Cycles), nil
+}

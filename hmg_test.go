@@ -1,0 +1,151 @@
+package hmg
+
+import (
+	"testing"
+
+	"hmg/internal/trace"
+)
+
+// TestTableII verifies the public default configuration matches the
+// paper's Table II.
+func TestTableII(t *testing.T) {
+	cfg := DefaultConfig(ProtocolHMG)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if cfg.Topo.NumGPUs != 4 || cfg.Topo.GPMsPerGPU != 4 {
+		t.Error("not a 4-GPU × 4-GPM system")
+	}
+	if got := cfg.L2Slice.CapacityBytes * cfg.Topo.GPMsPerGPU; got != 12<<20 {
+		t.Errorf("L2 per GPU = %d, want 12MB", got)
+	}
+	if cfg.Dir.Entries != 12*1024 || cfg.Dir.GranLines != 4 {
+		t.Error("directory is not 12K entries × 4 lines")
+	}
+	if cfg.Net.NVLinkGBs != 200 {
+		t.Error("inter-GPU links are not 200 GB/s")
+	}
+	if cfg.FrequencyHz != 1.3e9 {
+		t.Error("clock is not 1.3 GHz")
+	}
+	if cfg.Topo.PageSize != 2<<20 {
+		t.Error("page size is not 2MB")
+	}
+	if cfg.Topo.LineSize != 128 {
+		t.Error("line size is not 128B")
+	}
+}
+
+// TestHardwareCost reproduces the Section VII-C numbers: 6 sharers, 55
+// bits per entry, ~84KB per GPM, ~2.7% of the L2 slice.
+func TestHardwareCost(t *testing.T) {
+	rep := HardwareCost(DefaultConfig(ProtocolHMG))
+	if rep.MaxSharers != 6 {
+		t.Errorf("MaxSharers = %d, want 6 (M+N-2)", rep.MaxSharers)
+	}
+	if rep.BitsPerEntry != 55 {
+		t.Errorf("BitsPerEntry = %d, want 55", rep.BitsPerEntry)
+	}
+	if rep.BytesPerGPM < 82*1024 || rep.BytesPerGPM > 86*1024 {
+		t.Errorf("BytesPerGPM = %d, want ≈84KB", rep.BytesPerGPM)
+	}
+	if rep.L2Fraction < 0.025 || rep.L2Fraction > 0.029 {
+		t.Errorf("L2Fraction = %.4f, want ≈2.7%%", rep.L2Fraction)
+	}
+}
+
+func TestProtocols(t *testing.T) {
+	ps := Protocols()
+	if len(ps) != 6 {
+		t.Fatalf("protocols = %d, want 6", len(ps))
+	}
+	for _, p := range ps {
+		back, err := ParseProtocol(p.String())
+		if err != nil || back != p {
+			t.Errorf("ParseProtocol(%q) = %v, %v", p.String(), back, err)
+		}
+	}
+	if _, err := ParseProtocol("bogus"); err == nil {
+		t.Error("ParseProtocol accepted bogus name")
+	}
+}
+
+func TestBenchmarksList(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 20 {
+		t.Fatalf("benchmark count = %d, want Table III's 20", len(bs))
+	}
+}
+
+func TestGenerateBenchmark(t *testing.T) {
+	cfg := DefaultConfig(ProtocolHMG)
+	tr, err := GenerateBenchmark("lstm", cfg, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenerateBenchmark("nope", cfg, 0.1); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestEndToEndRun(t *testing.T) {
+	cfg := DefaultConfig(ProtocolHMG)
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := GenerateBenchmark("overfeat", cfg, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || res.Ops == 0 {
+		t.Fatalf("empty results: %+v", res)
+	}
+	if sys.Raw() == nil {
+		t.Fatal("Raw() nil")
+	}
+}
+
+func TestSpeedupAPI(t *testing.T) {
+	sp, err := Speedup("overfeat", DefaultConfig(ProtocolIdeal), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp <= 0 {
+		t.Fatalf("speedup = %v", sp)
+	}
+}
+
+func TestPublicLitmus(t *testing.T) {
+	cfg := DefaultConfig(ProtocolHMG)
+	prog := LitmusProgram{
+		Name: "mp",
+		Threads: []LitmusThread{
+			{Slot: 0, Ops: []trace.Op{
+				{Kind: trace.Store, Addr: 0x100, Val: 9},
+				{Kind: trace.StoreRel, Scope: trace.ScopeSys, Addr: 0x200, Val: 1},
+			}},
+			{Slot: 8, Ops: []trace.Op{
+				{Kind: trace.LoadAcq, Scope: trace.ScopeSys, Addr: 0x200, Gap: 3_000_000},
+				{Kind: trace.Load, Addr: 0x100},
+			}},
+		},
+	}
+	obs, _, err := RunLitmus(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, ok := LitmusValue(obs, 1, 0); !ok || f != 1 {
+		t.Fatalf("flag = %v, %v", f, ok)
+	}
+	if d, ok := LitmusValue(obs, 1, 1); !ok || d != 9 {
+		t.Fatalf("data = %v, %v", d, ok)
+	}
+}

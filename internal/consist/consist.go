@@ -1,0 +1,167 @@
+// Package consist is a litmus-test harness for the scoped memory model:
+// it builds small multi-threaded programs (threads pinned to GPMs via
+// CTA slots), executes them on the functional simulator with value
+// tracking, and collects every load's observed value so tests can check
+// the visibility rules the protocols must enforce — and the relaxations
+// (stale reads without synchronization) they are allowed.
+package consist
+
+import (
+	"fmt"
+
+	"hmg/internal/gsim"
+	"hmg/internal/topo"
+	"hmg/internal/trace"
+)
+
+// Thread is one litmus thread: a warp of ops on a chosen CTA slot.
+// Under contiguous scheduling with one CTA slot per GPM, slot i runs on
+// GPM i.
+type Thread struct {
+	Slot int
+	Ops  []trace.Op
+}
+
+// Program is a single-kernel litmus program.
+type Program struct {
+	Name string
+	// Slots is the number of CTA slots (defaults to the total GPM count
+	// so slot i → GPM i).
+	Slots   int
+	Threads []Thread
+	// HomeGPM owns every page the program touches (default GPM 0).
+	HomeGPM topo.GPMID
+	// Warmup, when set, prepends a kernel in which the given slot loads
+	// each listed address, seeding stale copies in its caches.
+	Warmup     []topo.Addr
+	WarmupSlot int
+}
+
+// Observation records one load's result.
+type Observation struct {
+	Thread int
+	Index  int // op index within the thread
+	Op     trace.Op
+	Value  uint64
+}
+
+// Run executes the program under the configuration (value tracking is
+// forced on) and returns all load observations in completion order.
+func Run(cfg gsim.Config, prog Program) ([]Observation, *gsim.Results, error) {
+	cfg.TrackValues = true
+	sys, err := gsim.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	slots := prog.Slots
+	if slots == 0 {
+		slots = cfg.Topo.TotalGPMs()
+	}
+	tr := &trace.Trace{Name: "litmus-" + prog.Name}
+	if len(prog.Warmup) > 0 {
+		k := trace.Kernel{CTAs: make([]trace.CTA, slots)}
+		var ops []trace.Op
+		for _, a := range prog.Warmup {
+			ops = append(ops, trace.Op{Kind: trace.Load, Addr: a})
+		}
+		k.CTAs[prog.WarmupSlot] = trace.CTA{Warps: []trace.Warp{{Ops: ops}}}
+		tr.Kernels = append(tr.Kernels, k)
+	}
+	main := trace.Kernel{CTAs: make([]trace.CTA, slots)}
+	type key struct{ slot, warp, idx int }
+	owners := make(map[key]int) // op position → thread id
+	warpOf := make(map[int]int) // thread → warp index within its CTA
+	for ti, th := range prog.Threads {
+		if th.Slot < 0 || th.Slot >= slots {
+			return nil, nil, fmt.Errorf("consist: thread %d slot %d out of range", ti, th.Slot)
+		}
+		w := len(main.CTAs[th.Slot].Warps)
+		warpOf[ti] = w
+		main.CTAs[th.Slot].Warps = append(main.CTAs[th.Slot].Warps, trace.Warp{Ops: th.Ops})
+		for oi := range th.Ops {
+			owners[key{th.Slot, w, oi}] = ti
+		}
+	}
+	tr.Kernels = append(tr.Kernels, main)
+	// Place every touched page on the home GPM.
+	seen := map[topo.Page]bool{}
+	for _, k := range tr.Kernels {
+		for _, c := range k.CTAs {
+			for _, w := range c.Warps {
+				for _, op := range w.Ops {
+					pg := cfg.Topo.PageOf(op.Addr)
+					if !seen[pg] {
+						seen[pg] = true
+						tr.Placement = append(tr.Placement, trace.PlacementHint{Page: pg, GPM: prog.HomeGPM})
+					}
+				}
+			}
+		}
+	}
+	// Match observations back to threads: track per-(slot,warp) progress
+	// through load ops.
+	var obs []Observation
+	progress := make(map[int]int) // thread → next load-op cursor
+	sys.OnLoadValue = func(smID topo.SMID, op trace.Op, v uint64) {
+		// Identify the thread by matching the op identity: the same SM
+		// may host several litmus warps, so match on (kind, scope, addr)
+		// against each candidate thread's next unobserved load.
+		for ti, th := range prog.Threads {
+			gpm := trace.AssignCTA(th.Slot, slots, cfg.Topo.TotalGPMs())
+			if cfg.Topo.GPMOfSM(smID) != gpm {
+				continue
+			}
+			cur := progress[ti]
+			for oi := cur; oi < len(th.Ops); oi++ {
+				o := th.Ops[oi]
+				if !o.Kind.IsLoad() {
+					continue
+				}
+				if o.Kind == op.Kind && o.Scope == op.Scope && o.Addr == op.Addr {
+					obs = append(obs, Observation{Thread: ti, Index: oi, Op: op, Value: v})
+					progress[ti] = oi + 1
+					return
+				}
+				break
+			}
+		}
+	}
+	res, err := sys.Run(tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return obs, res, nil
+}
+
+// Value returns the observed value of thread ti's op at index oi, or
+// false if it was never observed.
+func Value(obs []Observation, ti, oi int) (uint64, bool) {
+	for _, o := range obs {
+		if o.Thread == ti && o.Index == oi {
+			return o.Value, true
+		}
+	}
+	return 0, false
+}
+
+// WrittenValues extracts every value any thread stores to addr
+// (including 0, the initial memory value) — the candidate set a load of
+// addr may legally observe in a data-race-free-or-not program.
+func WrittenValues(prog Program, addr topo.Addr) map[uint64]bool {
+	vals := map[uint64]bool{0: true}
+	for _, th := range prog.Threads {
+		for _, op := range th.Ops {
+			if op.Addr != addr {
+				continue
+			}
+			switch op.Kind {
+			case trace.Store, trace.StoreRel:
+				vals[op.Val] = true
+			case trace.Atomic:
+				// Atomics produce sums; callers with atomics should
+				// check bounds instead.
+			}
+		}
+	}
+	return vals
+}

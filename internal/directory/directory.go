@@ -1,0 +1,286 @@
+// Package directory implements the coherence directories attached to
+// every L2 slice. A directory is a set-associative cache of sharer-set
+// entries; each entry covers a coarse-grained region of (by default)
+// four consecutive cache lines, the optimization the paper evaluates in
+// Section VII-B.
+//
+// The sharer set is hierarchy-aware (Section V): one bit space for GPM
+// sharers and another for GPU sharers, so the same structure serves NHCC
+// (GPM bits only, global ids) and HMG (local GPM bits at both home
+// levels, GPU bits at the system home). Entries have exactly the two
+// stable states of paper Table I — an entry present in the directory is
+// Valid; transitioning to Invalid drops it. No transient states exist.
+package directory
+
+import (
+	"fmt"
+	"math/bits"
+
+	"hmg/internal/topo"
+)
+
+// Region identifies a directory tracking granule: Line / GranLines.
+type Region uint64
+
+// Sharers is a hierarchical sharer set: bits 0..31 identify GPM sharers,
+// bits 32..63 identify GPU sharers. Which id space the GPM bits use
+// (global GPM ids for flat protocols, GPU-local module indices for
+// hierarchical ones) is the protocol's choice.
+type Sharers uint64
+
+const gpuShift = 32
+
+// GPMBit returns the sharer bit for a GPM index.
+func GPMBit(i int) Sharers {
+	if i < 0 || i >= gpuShift {
+		panic(fmt.Sprintf("directory: GPM sharer index %d out of range", i))
+	}
+	return Sharers(1) << uint(i)
+}
+
+// GPUBit returns the sharer bit for a GPU id.
+func GPUBit(j int) Sharers {
+	if j < 0 || j >= 64-gpuShift {
+		panic(fmt.Sprintf("directory: GPU sharer index %d out of range", j))
+	}
+	return Sharers(1) << uint(gpuShift+j)
+}
+
+// Has reports whether all bits of b are present in s.
+func (s Sharers) Has(b Sharers) bool { return s&b == b }
+
+// With returns s plus the bits of b.
+func (s Sharers) With(b Sharers) Sharers { return s | b }
+
+// Without returns s minus the bits of b.
+func (s Sharers) Without(b Sharers) Sharers { return s &^ b }
+
+// Count returns the number of sharers recorded.
+func (s Sharers) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// IsEmpty reports whether no sharer is recorded.
+func (s Sharers) IsEmpty() bool { return s == 0 }
+
+// GPMs calls fn for each GPM sharer index.
+func (s Sharers) GPMs(fn func(int)) {
+	v := uint64(s) & (1<<gpuShift - 1)
+	for v != 0 {
+		i := bits.TrailingZeros64(v)
+		fn(i)
+		v &^= 1 << uint(i)
+	}
+}
+
+// GPUs calls fn for each GPU sharer id.
+func (s Sharers) GPUs(fn func(int)) {
+	v := uint64(s) >> gpuShift
+	for v != 0 {
+		j := bits.TrailingZeros64(v)
+		fn(j)
+		v &^= 1 << uint(j)
+	}
+}
+
+// String implements fmt.Stringer for debugging.
+func (s Sharers) String() string {
+	out := "["
+	first := true
+	s.GPMs(func(i int) {
+		if !first {
+			out += " "
+		}
+		out += fmt.Sprintf("GPM%d", i)
+		first = false
+	})
+	s.GPUs(func(j int) {
+		if !first {
+			out += " "
+		}
+		out += fmt.Sprintf("GPU%d", j)
+		first = false
+	})
+	return out + "]"
+}
+
+// Entry is one Valid directory entry.
+type Entry struct {
+	Region  Region
+	Sharers Sharers
+	valid   bool
+	lru     uint64
+}
+
+// Config sizes a directory.
+type Config struct {
+	// Entries is the total entry count (12K per GPM in Table II).
+	Entries int
+	// Ways is the set associativity.
+	Ways int
+	// GranLines is the number of consecutive cache lines covered by one
+	// entry (4 in the paper's evaluation).
+	GranLines int
+}
+
+// DefaultConfig returns the Table II directory: 12K entries, 4 lines per
+// entry, 8-way set associative.
+func DefaultConfig() Config { return Config{Entries: 12 * 1024, Ways: 8, GranLines: 4} }
+
+// Validate reports whether the configuration is realizable.
+func (c Config) Validate() error {
+	switch {
+	case c.Entries <= 0:
+		return fmt.Errorf("directory: Entries %d must be positive", c.Entries)
+	case c.Ways <= 0:
+		return fmt.Errorf("directory: Ways %d must be positive", c.Ways)
+	case c.Entries%c.Ways != 0:
+		return fmt.Errorf("directory: Entries %d not divisible by Ways %d", c.Entries, c.Ways)
+	case c.GranLines <= 0 || c.GranLines&(c.GranLines-1) != 0:
+		return fmt.Errorf("directory: GranLines %d must be a positive power of two", c.GranLines)
+	}
+	return nil
+}
+
+// Stats counts directory events.
+type Stats struct {
+	Allocs uint64 // entries newly allocated
+	Evicts uint64 // entries displaced by capacity/conflict
+	Drops  uint64 // entries invalidated by protocol transitions
+	Hits   uint64
+	Misses uint64
+	// EvictedSharerLines accumulates sharers × GranLines over evictions,
+	// the numerator of paper Fig. 10.
+	EvictedSharerLines uint64
+}
+
+// Dir is a set-associative coherence directory.
+type Dir struct {
+	cfg     Config
+	sets    [][]Entry
+	numSets uint64
+	clock   uint64
+	live    int
+
+	Stats Stats
+}
+
+// New builds a directory; it panics on an invalid configuration.
+func New(cfg Config) *Dir {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	numSets := cfg.Entries / cfg.Ways
+	d := &Dir{cfg: cfg, numSets: uint64(numSets)}
+	d.sets = make([][]Entry, numSets)
+	for i := range d.sets {
+		d.sets[i] = make([]Entry, cfg.Ways)
+	}
+	return d
+}
+
+// Config returns the directory's geometry.
+func (d *Dir) Config() Config { return d.cfg }
+
+// Live returns the number of Valid entries.
+func (d *Dir) Live() int { return d.live }
+
+// RegionOf maps a cache line to its tracking region.
+func (d *Dir) RegionOf(l topo.Line) Region { return Region(uint64(l) / uint64(d.cfg.GranLines)) }
+
+// FirstLine returns the first cache line of a region.
+func (d *Dir) FirstLine(r Region) topo.Line { return topo.Line(uint64(r) * uint64(d.cfg.GranLines)) }
+
+func (d *Dir) setOf(r Region) []Entry { return d.sets[uint64(r)%d.numSets] }
+
+// Lookup probes the directory without allocating.
+func (d *Dir) Lookup(r Region) (*Entry, bool) {
+	set := d.setOf(r)
+	for i := range set {
+		if set[i].valid && set[i].Region == r {
+			d.clock++
+			set[i].lru = d.clock
+			d.Stats.Hits++
+			return &set[i], true
+		}
+	}
+	d.Stats.Misses++
+	return nil, false
+}
+
+// Ensure returns the entry for region r, allocating it (state I→V) if
+// absent. When allocation displaces a Valid entry, a copy of the victim
+// is returned so the caller can send invalidations to its sharers, per
+// Table I's "Replace Dir Entry" column.
+func (d *Dir) Ensure(r Region) (*Entry, *Entry) {
+	set := d.setOf(r)
+	d.clock++
+	for i := range set {
+		if set[i].valid && set[i].Region == r {
+			set[i].lru = d.clock
+			d.Stats.Hits++
+			return &set[i], nil
+		}
+	}
+	d.Stats.Misses++
+	victimIdx := -1
+	for i := range set {
+		if !set[i].valid {
+			victimIdx = i
+			break
+		}
+	}
+	var victim *Entry
+	if victimIdx == -1 {
+		victimIdx = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lru < set[victimIdx].lru {
+				victimIdx = i
+			}
+		}
+		v := set[victimIdx]
+		victim = &v
+		d.Stats.Evicts++
+		d.Stats.EvictedSharerLines += uint64(v.Sharers.Count() * d.cfg.GranLines)
+		d.live--
+	}
+	set[victimIdx] = Entry{Region: r, valid: true, lru: d.clock}
+	d.live++
+	d.Stats.Allocs++
+	return &set[victimIdx], victim
+}
+
+// Drop transitions an entry to Invalid (removing it), per the V→I
+// transitions of Table I. It reports whether the entry was present.
+func (d *Dir) Drop(r Region) bool {
+	set := d.setOf(r)
+	for i := range set {
+		if set[i].valid && set[i].Region == r {
+			set[i] = Entry{}
+			d.live--
+			d.Stats.Drops++
+			return true
+		}
+	}
+	return false
+}
+
+// ForEach visits every Valid entry.
+func (d *Dir) ForEach(fn func(*Entry)) {
+	for s := range d.sets {
+		for i := range d.sets[s] {
+			if d.sets[s][i].valid {
+				fn(&d.sets[s][i])
+			}
+		}
+	}
+}
+
+// StorageBits returns the storage cost of one directory entry in bits,
+// the Section VII-C hardware-cost model: 1 state bit, the address tag,
+// and one bit per trackable sharer.
+func StorageBits(tagBits, maxSharers int) int { return 1 + tagBits + maxSharers }
+
+// StorageBytes returns the total directory storage in bytes for the
+// given entry count, Section VII-C's 84KB-per-GPM figure.
+func StorageBytes(entries, tagBits, maxSharers int) int {
+	return entries * StorageBits(tagBits, maxSharers) / 8
+}

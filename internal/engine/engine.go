@@ -1,0 +1,154 @@
+// Package engine implements the discrete-event simulation kernel that
+// drives every timing model in this repository.
+//
+// The kernel is a single-threaded event loop over a binary heap of
+// scheduled closures. Components (caches, links, DRAM partitions, SMs)
+// never block; they schedule follow-up events at future cycles. Ties at
+// the same cycle are broken by insertion order, which makes simulations
+// fully deterministic for a given input.
+//
+// Cycles are the only unit of time inside a simulation. The Engine knows
+// the clock frequency solely so that results can be reported in seconds
+// and bandwidths in bytes per second.
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Cycle is a point in simulated time, measured in clock cycles since the
+// start of the simulation.
+type Cycle uint64
+
+// MaxCycle is the largest representable simulation time. Run uses it as
+// the default horizon.
+const MaxCycle = Cycle(math.MaxUint64)
+
+// Event is a unit of scheduled work. The callback runs exactly once, at
+// the event's cycle.
+type event struct {
+	at  Cycle
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; use
+// New.
+type Engine struct {
+	now     Cycle
+	seq     uint64
+	queue   eventHeap
+	freqHz  float64
+	stopped bool
+
+	// Executed counts events that have run, for speed reporting.
+	Executed uint64
+}
+
+// DefaultFrequencyHz is the 1.3 GHz GPU clock from Table II of the paper.
+const DefaultFrequencyHz = 1.3e9
+
+// New returns an Engine with the given clock frequency in Hz. A
+// non-positive frequency falls back to DefaultFrequencyHz.
+func New(freqHz float64) *Engine {
+	if freqHz <= 0 {
+		freqHz = DefaultFrequencyHz
+	}
+	return &Engine{freqHz: freqHz}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Cycle { return e.now }
+
+// FrequencyHz returns the simulated clock frequency.
+func (e *Engine) FrequencyHz() float64 { return e.freqHz }
+
+// Seconds converts a cycle count to wall-clock seconds at the simulated
+// frequency.
+func (e *Engine) Seconds(c Cycle) float64 { return float64(c) / e.freqHz }
+
+// Cycles converts a duration in seconds to a whole number of cycles,
+// rounding up so that a non-zero duration never becomes zero cycles.
+func (e *Engine) Cycles(seconds float64) Cycle {
+	if seconds <= 0 {
+		return 0
+	}
+	return Cycle(math.Ceil(seconds * e.freqHz))
+}
+
+// Schedule runs fn after delay cycles. A zero delay runs fn later in the
+// current cycle, after all previously scheduled work for this cycle.
+func (e *Engine) Schedule(delay Cycle, fn func()) {
+	if fn == nil {
+		panic("engine: Schedule called with nil callback")
+	}
+	at := e.now + delay
+	if at < e.now {
+		panic(fmt.Sprintf("engine: schedule overflow at cycle %d + %d", e.now, delay))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// ScheduleAt runs fn at the absolute cycle at, which must not be in the
+// past.
+func (e *Engine) ScheduleAt(at Cycle, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("engine: ScheduleAt(%d) in the past (now %d)", at, e.now))
+	}
+	e.Schedule(at-e.now, fn)
+}
+
+// Pending reports the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Stop makes the current Run call return after the in-flight event
+// completes. It may be called from inside an event callback.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in time order until the queue drains, Stop is
+// called, or the next event would be after horizon. It returns the
+// simulation time at exit.
+func (e *Engine) Run(horizon Cycle) Cycle {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		ev := e.queue[0]
+		if ev.at > horizon {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = ev.at
+		e.Executed++
+		ev.fn()
+	}
+	return e.now
+}
+
+// Drain runs the queue to exhaustion with no horizon.
+func (e *Engine) Drain() Cycle { return e.Run(MaxCycle) }

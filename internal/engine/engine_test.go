@@ -1,0 +1,257 @@
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDefaults(t *testing.T) {
+	e := New(0)
+	if e.FrequencyHz() != DefaultFrequencyHz {
+		t.Fatalf("FrequencyHz = %v, want %v", e.FrequencyHz(), DefaultFrequencyHz)
+	}
+	if e.Now() != 0 {
+		t.Fatalf("Now = %d, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", e.Pending())
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New(0)
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	e.Drain()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %d, want 30", e.Now())
+	}
+}
+
+func TestSameCycleFIFO(t *testing.T) {
+	e := New(0)
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Drain()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-cycle events ran out of order at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestZeroDelayRunsThisCycle(t *testing.T) {
+	e := New(0)
+	var at Cycle
+	e.Schedule(7, func() {
+		e.Schedule(0, func() { at = e.Now() })
+	})
+	e.Drain()
+	if at != 7 {
+		t.Fatalf("zero-delay event ran at %d, want 7", at)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New(0)
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 50 {
+			e.Schedule(2, rec)
+		}
+	}
+	e.Schedule(1, rec)
+	e.Drain()
+	if depth != 50 {
+		t.Fatalf("depth = %d, want 50", depth)
+	}
+	if e.Now() != 1+49*2 {
+		t.Fatalf("Now = %d, want %d", e.Now(), 1+49*2)
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	e := New(0)
+	ran := []Cycle(nil)
+	for _, d := range []Cycle{5, 10, 15, 20} {
+		d := d
+		e.Schedule(d, func() { ran = append(ran, d) })
+	}
+	e.Run(12)
+	if len(ran) != 2 {
+		t.Fatalf("ran %v before horizon 12, want 2 events", ran)
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.Drain()
+	if len(ran) != 4 {
+		t.Fatalf("ran %v after drain, want all 4", ran)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New(0)
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(Cycle(i+1), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run(MaxCycle)
+	if count != 3 {
+		t.Fatalf("count = %d after Stop, want 3", count)
+	}
+	// A later Run resumes.
+	e.Drain()
+	if count != 10 {
+		t.Fatalf("count = %d after resume, want 10", count)
+	}
+}
+
+func TestScheduleAt(t *testing.T) {
+	e := New(0)
+	var at Cycle
+	e.Schedule(10, func() {
+		e.ScheduleAt(25, func() { at = e.Now() })
+	})
+	e.Drain()
+	if at != 25 {
+		t.Fatalf("event at %d, want 25", at)
+	}
+}
+
+func TestScheduleAtPastPanics(t *testing.T) {
+	e := New(0)
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ScheduleAt in the past did not panic")
+			}
+		}()
+		e.ScheduleAt(5, func() {})
+	})
+	e.Drain()
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	e := New(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("Schedule(nil) did not panic")
+		}
+	}()
+	e.Schedule(1, nil)
+}
+
+func TestSecondsCyclesRoundTrip(t *testing.T) {
+	e := New(1e9)
+	if got := e.Seconds(2_000_000_000); got != 2.0 {
+		t.Fatalf("Seconds = %v, want 2.0", got)
+	}
+	if got := e.Cycles(1.5); got != 1_500_000_000 {
+		t.Fatalf("Cycles = %v, want 1.5e9", got)
+	}
+	if got := e.Cycles(0); got != 0 {
+		t.Fatalf("Cycles(0) = %v, want 0", got)
+	}
+	if got := e.Cycles(1e-12); got == 0 {
+		t.Fatalf("Cycles of tiny positive duration rounded to 0")
+	}
+}
+
+func TestExecutedCounter(t *testing.T) {
+	e := New(0)
+	for i := 0; i < 17; i++ {
+		e.Schedule(Cycle(i), func() {})
+	}
+	e.Drain()
+	if e.Executed != 17 {
+		t.Fatalf("Executed = %d, want 17", e.Executed)
+	}
+}
+
+// TestRandomOrderProperty checks with testing/quick that arbitrary delay
+// sets always execute in nondecreasing time order.
+func TestRandomOrderProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		e := New(0)
+		var ran []Cycle
+		for _, d := range delays {
+			d := Cycle(d)
+			e.Schedule(d, func() { ran = append(ran, e.Now()) })
+		}
+		e.Drain()
+		if !sort.SliceIsSorted(ran, func(i, j int) bool { return ran[i] < ran[j] }) {
+			return false
+		}
+		return len(ran) == len(delays)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeterminism runs the same randomized event cascade twice and
+// requires identical execution sequences.
+func TestDeterminism(t *testing.T) {
+	run := func() []Cycle {
+		e := New(0)
+		rng := rand.New(rand.NewSource(42))
+		var seq []Cycle
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			seq = append(seq, e.Now())
+			if depth < 4 {
+				n := rng.Intn(3) + 1
+				for i := 0; i < n; i++ {
+					e.Schedule(Cycle(rng.Intn(10)), func() { spawn(depth + 1) })
+				}
+			}
+		}
+		for i := 0; i < 5; i++ {
+			e.Schedule(Cycle(rng.Intn(20)), func() { spawn(0) })
+		}
+		e.Drain()
+		return seq
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic schedule at event %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkScheduleDrain(b *testing.B) {
+	e := New(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Cycle(i%64), func() {})
+		if e.Pending() > 1024 {
+			e.Drain()
+		}
+	}
+	e.Drain()
+}

@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hmg/internal/gsim"
+	"hmg/internal/msg"
+	"hmg/internal/proto"
+	"hmg/internal/report"
+	"hmg/internal/stats"
+	"hmg/internal/topo"
+	"hmg/internal/trace"
+)
+
+// Fig. 7 in the paper correlates the proprietary simulator against real
+// NVIDIA hardware. Without that hardware we calibrate against
+// first-principles analytical models instead: four microbenchmarks with
+// closed-form cycle predictions (latency chains, L1 streaming, local
+// DRAM streaming, and inter-GPU-bandwidth-bound streaming), swept over
+// sizes, reporting the correlation coefficient, mean absolute relative
+// error, and simulation speed.
+
+// micro is one calibration microbenchmark.
+type micro struct {
+	name    string
+	kind    proto.Kind
+	sizes   []int
+	build   func(cfg gsim.Config, n int) *trace.Trace
+	predict func(cfg gsim.Config, n int) float64
+}
+
+const mLine = 128
+
+func microBenches() []micro {
+	return []micro{
+		{
+			// One warp per SM hitting a tiny L1-resident working set.
+			name:  "l1-stream",
+			kind:  proto.HMG,
+			sizes: []int{512, 2048, 8192},
+			build: func(cfg gsim.Config, n int) *trace.Trace {
+				return microTrace(cfg, func(sm, i int) trace.Op {
+					base := int64(sm) * 64 * mLine
+					return trace.Op{Kind: trace.Load, Addr: topo.Addr(base + int64(i%8)*mLine)}
+				}, n, localPlacement)
+			},
+			predict: func(cfg gsim.Config, n int) float64 {
+				// Warm-up misses for 8 lines, then L1-hit throughput
+				// limited by hit latency over warp MLP.
+				return float64(n) * float64(cfg.L1Latency) / float64(cfg.MaxWarpInflight)
+			},
+		},
+		{
+			// Every SM streams distinct lines from its local DRAM
+			// partition: latency-bound at this MLP.
+			name:  "dram-stream",
+			kind:  proto.HMG,
+			sizes: []int{256, 1024, 4096},
+			build: func(cfg gsim.Config, n int) *trace.Trace {
+				return microTrace(cfg, func(sm, i int) trace.Op {
+					base := int64(sm) * 1 << 22
+					return trace.Op{Kind: trace.Load, Addr: topo.Addr(base + int64(i)*mLine)}
+				}, n, localPlacement)
+			},
+			predict: func(cfg gsim.Config, n int) float64 {
+				rtt := float64(cfg.L1Latency+cfg.L2Latency+cfg.DRAM.Latency) + 2
+				lat := float64(n) * rtt / float64(cfg.MaxWarpInflight)
+				bpc := cfg.DRAM.BandwidthGBs * 1e9 / cfg.FrequencyHz
+				bw := float64(n*cfg.Topo.SMsPerGPM*mLine) / bpc
+				if bw > lat {
+					return bw
+				}
+				return lat
+			},
+		},
+		{
+			// SMs of GPUs 1..3 stream distinct lines homed on GPU 0:
+			// GPU 0's uplink serializes the responses.
+			name:  "nvlink-stream",
+			kind:  proto.NoRemoteCache,
+			sizes: []int{128, 512, 2048},
+			build: func(cfg gsim.Config, n int) *trace.Trace {
+				return microTrace(cfg, func(sm, i int) trace.Op {
+					gpm := sm / cfg.Topo.SMsPerGPM
+					if gpm < cfg.Topo.GPMsPerGPU { // GPU 0 idles
+						return trace.Op{}
+					}
+					base := int64(sm) * 1 << 22
+					return trace.Op{Kind: trace.Load, Addr: topo.Addr(base + int64(i)*mLine)}
+				}, n, placeOnGPU0)
+			},
+			predict: func(cfg gsim.Config, n int) float64 {
+				remoteSMs := (cfg.Topo.NumGPUs - 1) * cfg.Topo.GPMsPerGPU * cfg.Topo.SMsPerGPM
+				respBytes := float64(remoteSMs*n) * float64(cfg.Net.Sizes.Bytes(msg.DataResp))
+				bpc := cfg.Net.NVLinkGBs * 1e9 / cfg.FrequencyHz
+				return respBytes / bpc
+			},
+		},
+		{
+			// One warp issues serial .sys atomics to the remote GPU: a
+			// pure round-trip-latency chain.
+			name:  "atomic-chain",
+			kind:  proto.HMG,
+			sizes: []int{16, 64, 256},
+			build: func(cfg gsim.Config, n int) *trace.Trace {
+				var ops []trace.Op
+				for i := 0; i < n; i++ {
+					ops = append(ops, trace.Op{Kind: trace.Atomic, Scope: trace.ScopeSys, Addr: 0, Val: 1})
+				}
+				tr := &trace.Trace{Name: "atomic-chain", Kernels: []trace.Kernel{
+					{CTAs: []trace.CTA{{Warps: []trace.Warp{{Ops: ops}}}}},
+				}}
+				// Home the line on the last GPM (a different GPU).
+				tr.Placement = []trace.PlacementHint{{Page: 0, GPM: topo.GPMID(cfg.Topo.TotalGPMs() - 1)}}
+				return tr
+			},
+			predict: func(cfg gsim.Config, n int) float64 {
+				oneWay := float64(cfg.Net.XbarLatency)*2 + float64(cfg.Net.NVLinkLatency)
+				rtt := float64(cfg.L1Latency) + oneWay + float64(cfg.L2Latency) + oneWay
+				return float64(n) * rtt
+			},
+		},
+	}
+}
+
+// microTrace builds one warp per SM, op i given by gen (zero ops are
+// skipped), with page placement by place.
+func microTrace(cfg gsim.Config, gen func(sm, i int) trace.Op, n int, place func(cfg gsim.Config, tr *trace.Trace)) *trace.Trace {
+	t := cfg.Topo
+	kern := trace.Kernel{}
+	// One single-warp CTA per SM: with contiguous scheduling, CTA
+	// (g*SMsPerGPM + s) lands on SM s of GPM g.
+	for g := 0; g < t.TotalGPMs(); g++ {
+		for s := 0; s < t.SMsPerGPM; s++ {
+			sm := g*t.SMsPerGPM + s
+			var ops []trace.Op
+			for i := 0; i < n; i++ {
+				op := gen(sm, i)
+				if op == (trace.Op{}) {
+					continue
+				}
+				ops = append(ops, op)
+			}
+			kern.CTAs = append(kern.CTAs, trace.CTA{Warps: []trace.Warp{{Ops: ops}}})
+		}
+	}
+	tr := &trace.Trace{Name: "micro", Kernels: []trace.Kernel{kern}}
+	place(cfg, tr)
+	return tr
+}
+
+// localPlacement homes every SM's private region on its own GPM.
+func localPlacement(cfg gsim.Config, tr *trace.Trace) {
+	t := cfg.Topo
+	seen := map[topo.Page]bool{}
+	for _, k := range tr.Kernels {
+		for ci, c := range k.CTAs {
+			gpm := topo.GPMID(ci / t.SMsPerGPM)
+			for _, w := range c.Warps {
+				for _, op := range w.Ops {
+					pg := t.PageOf(op.Addr)
+					if !seen[pg] {
+						seen[pg] = true
+						tr.Placement = append(tr.Placement, trace.PlacementHint{Page: pg, GPM: gpm})
+					}
+				}
+			}
+		}
+	}
+}
+
+// placeOnGPU0 homes every touched page round-robin on GPU 0's GPMs.
+func placeOnGPU0(cfg gsim.Config, tr *trace.Trace) {
+	t := cfg.Topo
+	seen := map[topo.Page]bool{}
+	i := 0
+	for _, k := range tr.Kernels {
+		for _, c := range k.CTAs {
+			for _, w := range c.Warps {
+				for _, op := range w.Ops {
+					pg := t.PageOf(op.Addr)
+					if !seen[pg] {
+						seen[pg] = true
+						tr.Placement = append(tr.Placement, trace.PlacementHint{Page: pg, GPM: topo.GPMID(i % t.GPMsPerGPU)})
+						i++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Fig7 runs the calibration sweep: simulated versus analytically
+// predicted cycles for each microbenchmark point, with correlation,
+// mean absolute relative error, and simulator speed in the footer.
+func Fig7(r *Runner) (*report.Table, error) {
+	t := &report.Table{
+		Title:     "Fig. 7: simulator calibration (simulated vs analytical cycles) and speed",
+		Columns:   []string{"simCycles", "modelCycles", "Mevents/s"},
+		Precision: 0,
+	}
+	var sim, model []float64
+	var totalEvents uint64
+	var totalWall time.Duration
+	for _, m := range microBenches() {
+		for _, n := range m.sizes {
+			cfg := r.Config(m.kind, Variant{})
+			sys, err := gsim.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			tr := m.build(cfg, n)
+			start := time.Now()
+			res, err := sys.Run(tr)
+			if err != nil {
+				return nil, fmt.Errorf("fig7 %s/%d: %w", m.name, n, err)
+			}
+			wall := time.Since(start)
+			pred := m.predict(cfg, n)
+			sim = append(sim, float64(res.Cycles))
+			model = append(model, pred)
+			totalEvents += res.EventsExecuted
+			totalWall += wall
+			mevps := float64(res.EventsExecuted) / wall.Seconds() / 1e6
+			t.Add(fmt.Sprintf("%s/%d", m.name, n), float64(res.Cycles), pred, mevps)
+		}
+	}
+	t.AddNote("correlation = %.3f (paper: 0.99 vs silicon)", stats.Correlation(logs(sim), logs(model)))
+	t.AddNote("mean abs rel error = %.2f (paper: 0.13)", stats.MeanAbsRelError(sim, model))
+	t.AddNote("aggregate %.1f M events/s over %.2fs wall",
+		float64(totalEvents)/totalWall.Seconds()/1e6, totalWall.Seconds())
+	return t, nil
+}
+
+func logs(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		if x > 0 {
+			out[i] = math.Log(x)
+		}
+	}
+	return out
+}

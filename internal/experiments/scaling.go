@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hmg/internal/gsim"
+	"hmg/internal/proto"
+	"hmg/internal/report"
+	"hmg/internal/stats"
+	"hmg/internal/workload"
+)
+
+// ScalingStudy measures the Section VII-D discussion: HMG is envisioned
+// for systems "comprised by a single NVSwitch-based network", and its
+// hierarchical sharer tracking (M+N-2 bits) scales with GPU count. The
+// study runs the suite on 2-, 4-, and 8-GPU machines (4 GPMs each),
+// normalizing each machine size to its own no-remote-caching baseline.
+func ScalingStudy(r *Runner) (*report.Table, error) {
+	kinds := []proto.Kind{proto.NHCC, proto.SWHier, proto.HMG, proto.Ideal}
+	t := &report.Table{Title: "Sec. VII-D: scaling with GPU count (4 GPMs per GPU)"}
+	for _, k := range kinds {
+		t.Columns = append(t.Columns, legend(k))
+	}
+	for _, gpus := range []int{2, 4, 8} {
+		base := make(map[string]float64)
+		for _, b := range workload.Suite() {
+			res, err := r.runScaled(b, proto.NoRemoteCache, gpus)
+			if err != nil {
+				return nil, err
+			}
+			base[b.Abbrev] = float64(res.Cycles)
+		}
+		row := make([]float64, 0, len(kinds))
+		for _, k := range kinds {
+			var sp []float64
+			for _, b := range workload.Suite() {
+				res, err := r.runScaled(b, k, gpus)
+				if err != nil {
+					return nil, err
+				}
+				sp = append(sp, base[b.Abbrev]/float64(res.Cycles))
+			}
+			row = append(row, stats.GeoMean(sp))
+		}
+		t.Add(fmt.Sprintf("%d GPUs", gpus), row...)
+	}
+	t.AddNote("each machine size is normalized to its own no-remote-caching baseline")
+	t.AddNote("an 8-GPU HMG entry tracks M+N-2 = 10 sharers (10-bit vectors)")
+	return t, nil
+}
+
+// runScaled runs one benchmark on a machine with the given GPU count,
+// memoized under a synthetic variant key.
+func (r *Runner) runScaled(bench workload.Params, kind proto.Kind, gpus int) (*gsim.Results, error) {
+	key := runKey{bench.Abbrev + fmt.Sprintf("@%dgpu", gpus), kind, Variant{}.withDefaults()}
+	if res, ok := r.cache[key]; ok {
+		return res, nil
+	}
+	cfg := r.Config(kind, Variant{})
+	cfg.Topo.NumGPUs = gpus
+	sys, err := gsim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tr := bench.Generate(cfg.Topo, r.opts.Scale)
+	res, err := sys.Run(tr)
+	if err != nil {
+		return nil, fmt.Errorf("scaling %s/%v@%d: %w", bench.Abbrev, kind, gpus, err)
+	}
+	r.cache[key] = res
+	if r.opts.Log != nil {
+		fmt.Fprintf(r.opts.Log, "  ran %-12s %-16v %d GPUs %9d cycles\n", bench.Abbrev, kind, gpus, res.Cycles)
+	}
+	return res, nil
+}

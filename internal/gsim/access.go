@@ -1,0 +1,831 @@
+package gsim
+
+import (
+	"hmg/internal/cache"
+	"hmg/internal/directory"
+	"hmg/internal/msg"
+	"hmg/internal/proto"
+	"hmg/internal/topo"
+	"hmg/internal/trace"
+)
+
+// Message kind aliases used by the SM layer.
+const (
+	relFenceKind = msg.RelFence
+	relAckKind   = msg.RelAck
+)
+
+// fillData is the sparse word-value payload of a load response. It is
+// nil when value tracking is off. Receivers only read it.
+type fillData map[uint16]uint64
+
+// valOf extracts one word's value from response data (0 for untracked
+// words and nil data, matching never-written memory).
+func valOf(fill fillData, word uint16) uint64 { return fill[word] }
+
+// cacheableAt reports whether the policy allows caches on GPM g to hold
+// line l (NoRemoteCache forbids caching lines owned by other GPUs).
+func (s *System) cacheableAt(g topo.GPMID, l topo.Line) bool {
+	if s.Cfg.Policy.Classify && g != s.Pages.SysHome(l) && s.classOf(l) == classReadWrite {
+		// CARVE: read-write shared regions are never cached remotely.
+		return false
+	}
+	if s.Cfg.Policy.CacheRemoteGPU {
+		return true
+	}
+	return s.Cfg.Topo.GPUOf(s.Pages.SysHome(l)) == s.Cfg.Topo.GPUOf(g)
+}
+
+// effScope returns the scope the datapath enforces: Ideal ignores scope
+// bypass entirely (loads may hit anywhere).
+func (s *System) effScope(sc trace.Scope) trace.Scope {
+	if s.Cfg.Policy.NoCoherence {
+		return trace.ScopeNone
+	}
+	return sc
+}
+
+// ---------------------------------------------------------------------
+// Loads
+// ---------------------------------------------------------------------
+
+// startLoad begins a load at the SM: L1 first (when the scope permits),
+// then the L2 hierarchy. done receives the loaded word value.
+func (sm *SM) startLoad(op trace.Op, isAcq bool, done func(uint64)) {
+	s := sm.sys
+	line := s.Cfg.Topo.LineOf(op.Addr)
+	word := cache.WordOf(op.Addr, s.Cfg.Topo.LineSize)
+	scope := s.effScope(op.Scope)
+	l1OK := scope <= trace.ScopeCTA && s.cacheableAt(sm.gpm, line)
+	if l1OK {
+		if e, hit := sm.L1.Lookup(line); hit {
+			v, _ := e.Value(word)
+			s.Eng.Schedule(s.Cfg.L1Latency, func() { done(v) })
+			return
+		}
+	}
+	s.Eng.Schedule(s.Cfg.L1Latency, func() {
+		s.requesterL2Load(sm, op, line, func(fill fillData) {
+			if l1OK {
+				e, _ := sm.L1.Fill(line)
+				if s.Cfg.TrackValues {
+					e.MergeFrom(fill)
+				}
+			}
+			done(valOf(fill, word))
+		})
+	})
+}
+
+// requesterL2Load handles a load at the requesting GPM's L2 slice and
+// routes misses up the home hierarchy. reply receives the response line
+// data once it has been installed in this GPM's L2 (when permitted).
+func (s *System) requesterL2Load(sm *SM, op trace.Op, line topo.Line, reply func(fillData)) {
+	g := sm.gpm
+	gpm := s.gpmOf(g)
+	scope := s.effScope(op.Scope)
+	sysHome := s.Pages.SysHome(line)
+	hier := s.Cfg.Policy.Hierarchical
+	gpuHome := sysHome
+	if hier {
+		gpuHome = s.Pages.GPUHome(sm.gpu, line)
+	}
+	cacheable := s.cacheableAt(g, line)
+	// The requester may fill its own L2 with the response for loads of
+	// .gpm scope or weaker (the GPM-local slice is the .gpm coherence
+	// point) on cacheable lines.
+	fillHere := scope <= trace.ScopeGPM && cacheable
+
+	if g == sysHome {
+		// Local load at the system home: Table I takes no action.
+		s.sysHomeLoad(g, proto.GPMRequester(int(g)), false, line, reply)
+		return
+	}
+	if hier && g == gpuHome && gpuHome != sysHome && scope <= trace.ScopeGPU {
+		// This GPM is the GPU home node for the line.
+		s.gpuHomeLoad(g, g, op, line, reply)
+		return
+	}
+	proceed := func() {
+		if scope == trace.ScopeSys || !hier || gpuHome == sysHome {
+			// Route directly to the system home. Track the requester only
+			// if it will cache the response.
+			req := s.flatRequester(g, sysHome)
+			track := fillHere && s.Cfg.Policy.Hardware
+			round := func(done func(fillData)) {
+				s.send(g, sysHome, msg.LoadReq, func() {
+					s.sysHomeLoad(sysHome, req, track, line, func(fill fillData) {
+						s.send(sysHome, g, msg.DataResp, func() {
+							s.fillL2(g, line, fill, fillHere)
+							done(fill)
+						})
+					})
+				})
+			}
+			if fillHere {
+				gpm.fetch(fetchKey{line, sysHome}, reply, round)
+			} else {
+				round(reply)
+			}
+			return
+		}
+		// Hierarchical: route via the GPU home node.
+		round := func(done func(fillData)) {
+			s.send(g, gpuHome, msg.LoadReq, func() {
+				s.gpuHomeLoad(gpuHome, g, op, line, func(fill fillData) {
+					s.send(gpuHome, g, msg.DataResp, func() {
+						s.fillL2(g, line, fill, fillHere)
+						done(fill)
+					})
+				})
+			})
+		}
+		if fillHere {
+			gpm.fetch(fetchKey{line, gpuHome}, reply, round)
+		} else {
+			round(reply)
+		}
+	}
+	if fillHere {
+		// Probe the local slice before going out.
+		s.Eng.Schedule(s.Cfg.L2Latency, func() {
+			if e, hit := gpm.L2.Lookup(line); hit {
+				reply(e.Data)
+				return
+			}
+			proceed()
+		})
+		return
+	}
+	proceed()
+}
+
+// flatRequester encodes the requester for a system-home directory under
+// flat protocols (global GPM id) or, under HMG, for a requester inside
+// the owner GPU (local module index) or outside it (GPU id).
+func (s *System) flatRequester(g, sysHome topo.GPMID) proto.Requester {
+	if !s.Cfg.Policy.Hierarchical {
+		return proto.GPMRequester(int(g))
+	}
+	if s.Cfg.Topo.SameGPU(g, sysHome) {
+		return proto.GPMRequester(s.Cfg.Topo.LocalOf(g))
+	}
+	return proto.GPURequester(int(s.Cfg.Topo.GPUOf(g)))
+}
+
+// gpuHomeLoad handles a load at a GPU home node that is not the system
+// home (hierarchical policies only). fromGPM is the requesting module of
+// the same GPU (possibly the home itself). Concurrent misses merge in
+// the home's MSHRs; each still records its requester in the directory at
+// request arrival.
+func (s *System) gpuHomeLoad(h, fromGPM topo.GPMID, op trace.Op, line topo.Line, reply func(fillData)) {
+	gpm := s.gpmOf(h)
+	scope := s.effScope(op.Scope)
+	sysHome := s.Pages.SysHome(line)
+	// Record the requesting GPM at request time; the system home will
+	// only ever learn the GPU.
+	if gpm.Dir != nil && fromGPM != h {
+		evR, evT := gpm.Dir.RemoteLoad(line, proto.GPMRequester(s.Cfg.Topo.LocalOf(fromGPM)))
+		s.sendInvs(gpm, evR, evT)
+	}
+	s.Eng.Schedule(s.Cfg.L2Latency, func() {
+		if scope <= trace.ScopeGPU {
+			if e, hit := gpm.L2.Lookup(line); hit {
+				reply(e.Data)
+				return
+			}
+		}
+		// Miss: forward to the system home carrying only the GPU id; the
+		// GPU home caches the response on behalf of its whole GPU.
+		gpm.fetch(fetchKey{line, sysHome}, reply, func(done func(fillData)) {
+			s.send(h, sysHome, msg.LoadReq, func() {
+				s.sysHomeLoad(sysHome, proto.GPURequester(int(gpm.gpu)), true, line, func(fill fillData) {
+					s.send(sysHome, h, msg.DataResp, func() {
+						s.fillL2(h, line, fill, true)
+						done(fill)
+					})
+				})
+			})
+		})
+	})
+}
+
+// sysHomeLoad handles a load at the system home node: hit in the home L2
+// or fetch from the local DRAM partition. When track is set the
+// requester is recorded as a sharer (Table I remote load).
+func (s *System) sysHomeLoad(sh topo.GPMID, req proto.Requester, track bool, line topo.Line, reply func(fillData)) {
+	if s.Cfg.Policy.MCA {
+		// Multi-copy-atomicity: reads of a line with a store awaiting
+		// invalidation acknowledgments must wait behind it.
+		gpm := s.gpmOf(sh)
+		gpm.lockLine(line, func() {
+			gpm.unlockLine(line)
+			s.sysHomeLoadUnlocked(sh, req, track, line, reply)
+		})
+		return
+	}
+	s.sysHomeLoadUnlocked(sh, req, track, line, reply)
+}
+
+func (s *System) sysHomeLoadUnlocked(sh topo.GPMID, req proto.Requester, track bool, line topo.Line, reply func(fillData)) {
+	gpm := s.gpmOf(sh)
+	if gpm.Dir != nil && track {
+		evR, evT := gpm.Dir.RemoteLoad(line, req)
+		s.sendInvs(gpm, evR, evT)
+	}
+	if gpm.classes != nil && !req.IsGPU {
+		s.classifyLoad(gpm, line, topo.GPMID(req.ID))
+	}
+	s.Eng.Schedule(s.Cfg.L2Latency, func() {
+		if e, hit := gpm.L2.Lookup(line); hit {
+			reply(e.Data)
+			return
+		}
+		gpm.fetch(fetchKey{line, sh}, reply, func(done func(fillData)) {
+			gpm.DRAM.Read(line, func() {
+				var fill fillData
+				if s.Cfg.TrackValues {
+					fill = gpm.DRAM.LineValues(line)
+				}
+				e, _ := gpm.L2.Fill(line)
+				e.MergeFrom(fill)
+				done(e.Data)
+			})
+		})
+	})
+}
+
+// fillL2 installs a load response into an L2 slice when allowed. Under
+// the optional Downgrade optimization (Section IV, off by default and in
+// the paper's evaluation), a displaced clean remote line notifies its
+// home so the sharer can be dropped before it costs an invalidation.
+func (s *System) fillL2(g topo.GPMID, line topo.Line, fill fillData, allowed bool) {
+	if !allowed || s.gpmOf(g).poisoned[line] {
+		// A poisoned fill was overtaken by an invalidation or store
+		// while in flight: serve the waiters but do not cache it.
+		return
+	}
+	e, victim := s.gpmOf(g).L2.Fill(line)
+	if s.Cfg.TrackValues {
+		e.MergeFrom(fill)
+	}
+	switch {
+	case victim == nil:
+	case victim.Dirty && s.Cfg.WriteBack:
+		// Evicted dirty data writes back to its home (charged to the
+		// GPM's first SM; the kernel barrier waits on it).
+		s.writeBackLine(g, s.SMs[s.Cfg.Topo.SM(g, 0)], victim.Line, victim.Data)
+	case s.Cfg.Policy.Downgrade && s.Cfg.Policy.Hardware:
+		s.sendDowngrade(g, victim.Line)
+	}
+}
+
+// sendDowngrade notifies the home node of a clean eviction so it can
+// drop this GPM from the sharer set.
+func (s *System) sendDowngrade(g topo.GPMID, line topo.Line) {
+	sysHome := s.Pages.SysHome(line)
+	home := sysHome
+	if s.Cfg.Policy.Hierarchical {
+		home = s.Pages.GPUHome(s.Cfg.Topo.GPUOf(g), line)
+	}
+	if home == g {
+		return // the home itself holds no sharer entry for itself
+	}
+	req := proto.GPMRequester(int(g))
+	if s.Cfg.Policy.Hierarchical {
+		req = proto.GPMRequester(s.Cfg.Topo.LocalOf(g))
+	}
+	s.send(g, home, msg.Downgrade, func() {
+		if d := s.gpmOf(home).Dir; d != nil {
+			d.DropSharer(line, req)
+		}
+	})
+}
+
+// ---------------------------------------------------------------------
+// Stores
+// ---------------------------------------------------------------------
+
+// startStore begins a posted write-through store at the SM.
+func (sm *SM) startStore(op trace.Op) {
+	s := sm.sys
+	line := s.Cfg.Topo.LineOf(op.Addr)
+	word := cache.WordOf(op.Addr, s.Cfg.Topo.LineSize)
+	sm.gpuHomeGate.Start()
+	sm.sysHomeGate.Start()
+	// Update any L1 copy in place (write-through, no allocate).
+	if s.Cfg.TrackValues {
+		if e, hit := sm.L1.Peek(line); hit {
+			e.SetValue(word, op.Val)
+		}
+	}
+	s.Eng.Schedule(s.Cfg.L1Latency, func() {
+		if s.Cfg.WriteBack && op.Kind == trace.Store && op.Scope <= trace.ScopeCTA {
+			// Write-back option: a plain store that hits the local slice
+			// dirties it; the flush machinery assumes the visibility
+			// obligation, so the store's gates are released here.
+			s.Eng.Schedule(s.Cfg.L2Latency, func() {
+				if s.tryWriteBackHit(sm.gpm, line, word, op.Val) {
+					sm.gpuHomeGate.Finish()
+					sm.sysHomeGate.Finish()
+					return
+				}
+				s.l2Store(sm, op, line, word)
+			})
+			return
+		}
+		s.l2Store(sm, op, line, word)
+	})
+}
+
+// l2Store routes a write-through from the requester's L2 slice toward
+// the home hierarchy. The SM's gates are released as the store is
+// processed at the GPU home and system home points.
+func (s *System) l2Store(sm *SM, op trace.Op, line topo.Line, word uint16) {
+	g := sm.gpm
+	sysHome := s.Pages.SysHome(line)
+	hier := s.Cfg.Policy.Hierarchical
+	gpuHome := sysHome
+	if hier {
+		gpuHome = s.Pages.GPUHome(sm.gpu, line)
+	}
+	// Update the local slice copy in place (and poison any in-flight
+	// fill, which would otherwise install pre-store data).
+	if g != sysHome && g != gpuHome {
+		if e, hit := s.gpmOf(g).L2.Peek(line); hit {
+			if s.Cfg.TrackValues {
+				e.SetValue(word, op.Val)
+			}
+		} else {
+			s.gpmOf(g).poisonLine(line)
+		}
+	}
+	onGPU := func() { sm.gpuHomeGate.Finish() }
+	onSys := func() { sm.sysHomeGate.Finish() }
+	switch {
+	case g == sysHome:
+		s.sysHomeStore(g, proto.Requester{}, true, op, line, word, onGPU, onSys)
+	case hier && g == gpuHome && gpuHome != sysHome:
+		s.gpuHomeStore(g, g, op, line, word, onGPU, onSys)
+	case hier && gpuHome != sysHome:
+		s.send(g, gpuHome, msg.StoreReq, func() {
+			s.gpuHomeStore(gpuHome, g, op, line, word, onGPU, onSys)
+		})
+	default:
+		// Flat protocols, or the owner GPU where the GPU home node and
+		// the system home node coincide.
+		req := s.flatRequester(g, sysHome)
+		s.send(g, sysHome, msg.StoreReq, func() {
+			s.sysHomeStore(sysHome, req, false, op, line, word, onGPU, onSys)
+		})
+	}
+}
+
+// gpuHomeStore processes a write-through at a GPU home node that is not
+// the system home, then forwards it to the system home.
+func (s *System) gpuHomeStore(h, fromGPM topo.GPMID, op trace.Op, line topo.Line, word uint16, onGPU, onSys func()) {
+	gpm := s.gpmOf(h)
+	sysHome := s.Pages.SysHome(line)
+	s.Eng.Schedule(s.Cfg.L2Latency, func() {
+		if gpm.Dir != nil {
+			if fromGPM == h {
+				s.sendInvs(gpm, gpm.Dir.Dir.RegionOf(line), gpm.Dir.LocalStore(line))
+			} else {
+				inv, evR, evT := gpm.Dir.RemoteStore(line, proto.GPMRequester(s.Cfg.Topo.LocalOf(fromGPM)))
+				s.sendInvs(gpm, gpm.Dir.Dir.RegionOf(line), inv)
+				s.sendInvs(gpm, evR, evT)
+			}
+		}
+		if e, hit := gpm.L2.Peek(line); hit {
+			if s.Cfg.TrackValues {
+				e.SetValue(word, op.Val)
+			}
+		} else {
+			gpm.poisonLine(line)
+		}
+		onGPU()
+		s.send(h, sysHome, msg.StoreReq, func() {
+			s.sysHomeStore(sysHome, proto.GPURequester(int(gpm.gpu)), false, op, line, word, nil, onSys)
+		})
+	})
+}
+
+// sysHomeStore processes a write-through at the system home: Table I
+// directory transitions, home L2 update, and the DRAM write. local marks
+// stores issued by the home GPM itself.
+func (s *System) sysHomeStore(sh topo.GPMID, req proto.Requester, local bool, op trace.Op, line topo.Line, word uint16, onGPU, onSys func()) {
+	if s.Cfg.Policy.MCA {
+		s.sysHomeStoreMCA(sh, req, local, op, line, word, onGPU, onSys)
+		return
+	}
+	gpm := s.gpmOf(sh)
+	s.Eng.Schedule(s.Cfg.L2Latency, func() {
+		if gpm.classes != nil {
+			accessor := topo.GPMID(req.ID)
+			if local {
+				accessor = sh
+			}
+			if s.classifyStore(gpm, line, accessor) {
+				s.broadcastInv(gpm, line)
+			}
+		}
+		if gpm.Dir != nil {
+			if local {
+				s.sendInvs(gpm, gpm.Dir.Dir.RegionOf(line), gpm.Dir.LocalStore(line))
+			} else {
+				inv, evR, evT := gpm.Dir.RemoteStore(line, req)
+				s.sendInvs(gpm, gpm.Dir.Dir.RegionOf(line), inv)
+				s.sendInvs(gpm, evR, evT)
+			}
+		}
+		if e, hit := gpm.L2.Peek(line); hit {
+			if s.Cfg.TrackValues {
+				e.SetValue(word, op.Val)
+			}
+		} else {
+			gpm.poisonLine(line)
+		}
+		if s.Cfg.TrackValues {
+			gpm.DRAM.StoreValue(op.Addr, op.Val)
+		}
+		gpm.DRAM.Write(s.Cfg.Net.Sizes.StorePayload, nil)
+		if onGPU != nil {
+			onGPU()
+		}
+		if onSys != nil {
+			onSys()
+		}
+	})
+}
+
+// ---------------------------------------------------------------------
+// Invalidations
+// ---------------------------------------------------------------------
+
+// sendInvs dispatches background invalidations for a region to the given
+// targets. GPM targets resolve within the sender's GPU under
+// hierarchical protocols and globally under flat ones; GPU targets
+// resolve to that GPU's home node, which forwards to its own sharers
+// (the HMG-only Table I transition). The sender's drain gates count each
+// invalidation until its entire fan-out has been delivered.
+func (s *System) sendInvs(from *GPM, region directory.Region, targets []proto.InvTarget) {
+	if len(targets) == 0 {
+		return
+	}
+	line := from.Dir.Dir.FirstLine(region)
+	gran := from.Dir.Dir.Config().GranLines
+	for _, t := range targets {
+		var dest topo.GPMID
+		forward := false
+		if t.IsGPU {
+			dest = s.Pages.GPUHome(topo.GPUID(t.ID), line)
+			forward = true
+		} else if s.Cfg.Policy.Hierarchical {
+			dest = s.Cfg.Topo.GPM(from.gpu, t.ID)
+		} else {
+			dest = topo.GPMID(t.ID)
+		}
+		intra := !t.IsGPU && s.Cfg.Topo.SameGPU(from.id, dest)
+		from.invAll.Start()
+		if intra {
+			from.invIntra.Start()
+		}
+		finish := func() {
+			from.invAll.Finish()
+			if intra {
+				from.invIntra.Finish()
+			}
+		}
+		s.send(from.id, dest, msg.Inv, func() {
+			d := s.gpmOf(dest)
+			d.L2.InvalidateRegion(line, gran)
+			d.poisonRegion(line, gran)
+			if !forward || d.Dir == nil {
+				finish()
+				return
+			}
+			fw := d.Dir.Invalidation(region)
+			if len(fw) == 0 {
+				finish()
+				return
+			}
+			remaining := len(fw)
+			for _, ft := range fw {
+				dest2 := s.Cfg.Topo.GPM(d.gpu, ft.ID)
+				s.send(dest, dest2, msg.Inv, func() {
+					s.gpmOf(dest2).L2.InvalidateRegion(line, gran)
+					s.gpmOf(dest2).poisonRegion(line, gran)
+					remaining--
+					if remaining == 0 {
+						finish()
+					}
+				})
+			}
+		})
+	}
+}
+
+// sendInvsAcked dispatches invalidations like sendInvs but additionally
+// collects an InvAck from every target, invoking onAllAcked once the
+// last acknowledgment returns — the multi-copy-atomic (GPU-VI) variant
+// that HMG exists to avoid. Targets resolve exactly as in sendInvs.
+func (s *System) sendInvsAcked(from *GPM, region directory.Region, targets []proto.InvTarget, onAllAcked func()) {
+	if len(targets) == 0 {
+		onAllAcked()
+		return
+	}
+	line := from.Dir.Dir.FirstLine(region)
+	gran := from.Dir.Dir.Config().GranLines
+	pending := len(targets)
+	for _, t := range targets {
+		var dest topo.GPMID
+		if t.IsGPU {
+			dest = s.Pages.GPUHome(topo.GPUID(t.ID), line)
+		} else if s.Cfg.Policy.Hierarchical {
+			dest = s.Cfg.Topo.GPM(from.gpu, t.ID)
+		} else {
+			dest = topo.GPMID(t.ID)
+		}
+		s.send(from.id, dest, msg.Inv, func() {
+			d := s.gpmOf(dest)
+			d.L2.InvalidateRegion(line, gran)
+			d.poisonRegion(line, gran)
+			s.send(dest, from.id, msg.InvAck, func() {
+				pending--
+				if pending == 0 {
+					onAllAcked()
+				}
+			})
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------
+
+// startAtomic begins a scoped read-modify-write. .cta atomics perform at
+// the L1; .gpu and .sys atomics at the home node of their scope (where
+// the L2 atomic unit serializes them per line), and the result writes
+// through toward the system home. done receives the old value.
+func (sm *SM) startAtomic(op trace.Op, done func(uint64)) {
+	s := sm.sys
+	line := s.Cfg.Topo.LineOf(op.Addr)
+	word := cache.WordOf(op.Addr, s.Cfg.Topo.LineSize)
+	delta := op.Val
+	if delta == 0 {
+		delta = 1
+	}
+	if op.Scope <= trace.ScopeCTA {
+		// RMW through the L1: fetch the line if absent, modify locally,
+		// write the result through as an ordinary store.
+		loadOp := op
+		loadOp.Kind = trace.Load
+		loadOp.Scope = trace.ScopeNone
+		sm.startLoad(loadOp, false, func(old uint64) {
+			if s.Cfg.TrackValues {
+				if e, hit := sm.L1.Peek(line); hit {
+					e.SetValue(word, old+delta)
+				}
+			}
+			stOp := op
+			stOp.Kind = trace.Store
+			stOp.Val = old + delta
+			sm.startStore(stOp)
+			done(old)
+		})
+		return
+	}
+	if op.Scope == trace.ScopeGPM {
+		// Section VII-D extension: RMW at the GPM-local L2's atomic
+		// unit, serialized per line; the result writes through onward.
+		s.atomicAtLocalL2(sm, op, line, word, delta, done)
+		return
+	}
+	sm.gpuHomeGate.Start()
+	sm.sysHomeGate.Start()
+	onGPU := func() { sm.gpuHomeGate.Finish() }
+	onSys := func() { sm.sysHomeGate.Finish() }
+	sysHome := s.Pages.SysHome(line)
+	s.Eng.Schedule(s.Cfg.L1Latency, func() {
+		if op.Scope == trace.ScopeGPU && s.Cfg.Policy.Hierarchical {
+			gpuHome := s.Pages.GPUHome(sm.gpu, line)
+			if gpuHome != sysHome {
+				s.send(sm.gpm, gpuHome, msg.AtomicReq, func() {
+					s.atomicAtGPUHome(sm, gpuHome, op, line, word, delta, onGPU, onSys, done)
+				})
+				return
+			}
+		}
+		s.send(sm.gpm, sysHome, msg.AtomicReq, func() {
+			s.atomicAtSysHome(sm, sysHome, op, line, word, delta, onGPU, onSys, done)
+		})
+	})
+}
+
+// atomicAtGPUHome performs a .gpu-scoped atomic at the GPU home node:
+// directory transitions as a store, RMW on the home copy (fetching from
+// the system home if absent), reply to the requester, and write the
+// result through to the system home.
+func (s *System) atomicAtGPUHome(sm *SM, h topo.GPMID, op trace.Op, line topo.Line, word uint16, delta uint64, onGPU, onSys func(), done func(uint64)) {
+	gpm := s.gpmOf(h)
+	sysHome := s.Pages.SysHome(line)
+	gpm.lockLine(line, func() {
+		s.Eng.Schedule(s.Cfg.L2Latency, func() {
+			if gpm.Dir != nil {
+				if sm.gpm == h {
+					s.sendInvs(gpm, gpm.Dir.Dir.RegionOf(line), gpm.Dir.LocalStore(line))
+				} else {
+					inv, evR, evT := gpm.Dir.RemoteStore(line, proto.GPMRequester(s.Cfg.Topo.LocalOf(sm.gpm)))
+					s.sendInvs(gpm, gpm.Dir.Dir.RegionOf(line), inv)
+					s.sendInvs(gpm, evR, evT)
+				}
+			}
+			finish := func(old uint64) {
+				newVal := old + delta
+				if s.Cfg.TrackValues {
+					e, hit := gpm.L2.Peek(line)
+					if !hit {
+						e, _ = gpm.L2.Fill(line)
+					}
+					e.SetValue(word, newVal)
+				}
+				gpm.unlockLine(line)
+				onGPU()
+				// Reply to the requester and write the result through.
+				s.send(h, sm.gpm, msg.AtomicResp, func() { done(old) })
+				stOp := op
+				stOp.Val = newVal
+				s.send(h, sysHome, msg.StoreReq, func() {
+					s.sysHomeStore(sysHome, proto.GPURequester(int(gpm.gpu)), false, stOp, line, word, nil, onSys)
+				})
+			}
+			if e, hit := gpm.L2.Lookup(line); hit {
+				v, _ := e.Value(word)
+				finish(v)
+				return
+			}
+			// Fetch the line from the system home first.
+			gpm.fetch(fetchKey{line, sysHome}, func(fill fillData) {
+				finish(valOf(fill, word))
+			}, func(fetched func(fillData)) {
+				s.send(h, sysHome, msg.LoadReq, func() {
+					s.sysHomeLoad(sysHome, proto.GPURequester(int(gpm.gpu)), true, line, func(fill fillData) {
+						s.send(sysHome, h, msg.DataResp, func() {
+							s.fillL2(h, line, fill, true)
+							fetched(fill)
+						})
+					})
+				})
+			})
+		})
+	})
+}
+
+// atomicAtSysHome performs an atomic at the system home node.
+func (s *System) atomicAtSysHome(sm *SM, sh topo.GPMID, op trace.Op, line topo.Line, word uint16, delta uint64, onGPU, onSys func(), done func(uint64)) {
+	gpm := s.gpmOf(sh)
+	gpm.lockLine(line, func() {
+		s.Eng.Schedule(s.Cfg.L2Latency, func() {
+			if gpm.classes != nil {
+				if s.classifyStore(gpm, line, sm.gpm) {
+					s.broadcastInv(gpm, line)
+				}
+			}
+			if gpm.Dir != nil {
+				if sm.gpm == sh {
+					s.sendInvs(gpm, gpm.Dir.Dir.RegionOf(line), gpm.Dir.LocalStore(line))
+				} else {
+					req := s.flatRequester(sm.gpm, sh)
+					inv, evR, evT := gpm.Dir.RemoteStore(line, req)
+					s.sendInvs(gpm, gpm.Dir.Dir.RegionOf(line), inv)
+					s.sendInvs(gpm, evR, evT)
+				}
+			}
+			finish := func(old uint64) {
+				if s.Cfg.TrackValues {
+					e, hit := gpm.L2.Peek(line)
+					if !hit {
+						e, _ = gpm.L2.Fill(line)
+						e.MergeFrom(gpm.DRAM.LineValues(line))
+					}
+					e.SetValue(word, old+delta)
+					gpm.DRAM.StoreValue(op.Addr, old+delta)
+				}
+				gpm.DRAM.Write(s.Cfg.Net.Sizes.StorePayload, nil)
+				gpm.unlockLine(line)
+				onGPU()
+				onSys()
+				s.send(sh, sm.gpm, msg.AtomicResp, func() { done(old) })
+			}
+			if e, hit := gpm.L2.Lookup(line); hit {
+				v, _ := e.Value(word)
+				finish(v)
+				return
+			}
+			gpm.fetch(fetchKey{line, sh}, func(fill fillData) {
+				finish(valOf(fill, word))
+			}, func(fetched func(fillData)) {
+				gpm.DRAM.Read(line, func() {
+					var fill fillData
+					if s.Cfg.TrackValues {
+						fill = gpm.DRAM.LineValues(line)
+					}
+					e, _ := gpm.L2.Fill(line)
+					e.MergeFrom(fill)
+					fetched(e.Data)
+				})
+			})
+		})
+	})
+}
+
+// atomicAtLocalL2 performs a .gpm-scoped atomic at the issuing GPM's own
+// L2 slice (the Section VII-D extension scope): the slice's atomic unit
+// serializes per line, fetching the line through the normal hierarchy if
+// absent, and the result writes through onward as a plain store.
+func (s *System) atomicAtLocalL2(sm *SM, op trace.Op, line topo.Line, word uint16, delta uint64, done func(uint64)) {
+	gpm := s.gpmOf(sm.gpm)
+	s.Eng.Schedule(s.Cfg.L1Latency, func() {
+		gpm.lockLine(line, func() {
+			s.Eng.Schedule(s.Cfg.L2Latency, func() {
+				finish := func(old uint64) {
+					if s.Cfg.TrackValues {
+						if e, hit := gpm.L2.Peek(line); hit {
+							e.SetValue(word, old+delta)
+						}
+					}
+					gpm.unlockLine(line)
+					stOp := op
+					stOp.Kind = trace.Store
+					stOp.Scope = trace.ScopeNone
+					stOp.Val = old + delta
+					sm.startStore(stOp)
+					done(old)
+				}
+				if e, hit := gpm.L2.Lookup(line); hit {
+					v, _ := e.Value(word)
+					finish(v)
+					return
+				}
+				loadOp := op
+				loadOp.Kind = trace.Load
+				loadOp.Scope = trace.ScopeNone
+				s.requesterL2Load(sm, loadOp, line, func(fill fillData) {
+					finish(valOf(fill, word))
+				})
+			})
+		})
+	})
+}
+
+// sysHomeStoreMCA is the multi-copy-atomic store path of the GPU-VI
+// baseline: the home line is locked while invalidations fan out, and the
+// store (and therefore the storing SM's release-visible completion) only
+// finishes when every sharer has acknowledged. This is the latency HMG's
+// non-multi-copy-atomic design eliminates.
+func (s *System) sysHomeStoreMCA(sh topo.GPMID, req proto.Requester, local bool, op trace.Op, line topo.Line, word uint16, onGPU, onSys func()) {
+	gpm := s.gpmOf(sh)
+	gpm.lockLine(line, func() {
+		s.Eng.Schedule(s.Cfg.L2Latency, func() {
+			var inv []proto.InvTarget
+			var evR directory.Region
+			var evT []proto.InvTarget
+			if gpm.Dir != nil {
+				if local {
+					inv = gpm.Dir.LocalStore(line)
+				} else {
+					inv, evR, evT = gpm.Dir.RemoteStore(line, req)
+				}
+				// Eviction fan-out keeps the ack-free background path;
+				// only the store's own invalidations require acks.
+				s.sendInvs(gpm, evR, evT)
+			}
+			finish := func() {
+				if e, hit := gpm.L2.Peek(line); hit {
+					if s.Cfg.TrackValues {
+						e.SetValue(word, op.Val)
+					}
+				} else {
+					gpm.poisonLine(line)
+				}
+				if s.Cfg.TrackValues {
+					gpm.DRAM.StoreValue(op.Addr, op.Val)
+				}
+				gpm.DRAM.Write(s.Cfg.Net.Sizes.StorePayload, nil)
+				gpm.unlockLine(line)
+				if onGPU != nil {
+					onGPU()
+				}
+				if onSys != nil {
+					onSys()
+				}
+			}
+			if gpm.Dir == nil || len(inv) == 0 {
+				finish()
+				return
+			}
+			s.sendInvsAcked(gpm, gpm.Dir.Dir.RegionOf(line), inv, finish)
+		})
+	})
+}

@@ -1,0 +1,60 @@
+package gsim
+
+// drain tracks completion of asynchronous operations (posted stores,
+// background invalidations) with epoch semantics: a waiter registered at
+// time T fires once every operation started before T has finished,
+// regardless of operations started afterwards. This models release
+// fences faithfully — a fence flushes what is in flight when it arrives;
+// it does not require global quiescence (which could livelock under
+// continuous traffic from other SMs).
+type drain struct {
+	started  uint64
+	finished uint64
+	waiters  []drainWaiter
+}
+
+type drainWaiter struct {
+	threshold uint64
+	fn        func()
+}
+
+// Start records the launch of one tracked operation.
+func (d *drain) Start() { d.started++ }
+
+// Finish records completion of one tracked operation and fires any
+// waiters whose epoch has drained. Operations must finish exactly once.
+func (d *drain) Finish() {
+	d.finished++
+	if d.finished > d.started {
+		panic("gsim: drain finished more operations than started")
+	}
+	if len(d.waiters) == 0 {
+		return
+	}
+	kept := d.waiters[:0]
+	var fire []func()
+	for _, w := range d.waiters {
+		if d.finished >= w.threshold {
+			fire = append(fire, w.fn)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	d.waiters = kept
+	for _, fn := range fire {
+		fn()
+	}
+}
+
+// Wait invokes fn once all currently started operations have finished;
+// immediately if none are outstanding.
+func (d *drain) Wait(fn func()) {
+	if d.finished >= d.started {
+		fn()
+		return
+	}
+	d.waiters = append(d.waiters, drainWaiter{threshold: d.started, fn: fn})
+}
+
+// Pending returns the number of outstanding operations.
+func (d *drain) Pending() uint64 { return d.started - d.finished }

@@ -1,0 +1,286 @@
+package gsim
+
+import (
+	"testing"
+
+	"hmg/internal/cache"
+	"hmg/internal/directory"
+	"hmg/internal/engine"
+	"hmg/internal/link"
+	"hmg/internal/memory"
+	"hmg/internal/proto"
+	"hmg/internal/topo"
+	"hmg/internal/trace"
+)
+
+// tinyConfig returns a 2-GPU × 2-GPM × 2-SM system with small caches and
+// value tracking, for functional tests.
+func tinyConfig(k proto.Kind) Config {
+	return Config{
+		Topo: topo.Topology{
+			NumGPUs: 2, GPMsPerGPU: 2, SMsPerGPM: 2,
+			LineSize: 128, PageSize: 4096,
+		},
+		Net:  link.DefaultNetConfig(),
+		DRAM: memory.Config{BandwidthGBs: 250, Latency: 100, LineSize: 128},
+		L1:   cache.Config{CapacityBytes: 8 * 1024, LineSize: 128, Ways: 4},
+		L2Slice: cache.Config{
+			CapacityBytes: 64 * 1024, LineSize: 128, Ways: 8,
+		},
+		Dir:             directory.Config{Entries: 256, Ways: 8, GranLines: 4},
+		Policy:          proto.For(k),
+		Placement:       topo.FirstTouch,
+		FrequencyHz:     engine.DefaultFrequencyHz,
+		L1Latency:       10,
+		L2Latency:       30,
+		MaxWarpInflight: 4,
+		MaxSMInflight:   16,
+		TrackValues:     true,
+	}
+}
+
+// oneWarpTrace builds a trace with a single kernel whose CTA i runs on a
+// deterministic GPM (via contiguous scheduling) with the given ops.
+func warpsTrace(warpOps ...[]trace.Op) *trace.Trace {
+	k := trace.Kernel{}
+	for _, ops := range warpOps {
+		k.CTAs = append(k.CTAs, trace.CTA{Warps: []trace.Warp{{Ops: ops}}})
+	}
+	return &trace.Trace{Name: "test", Kernels: []trace.Kernel{k}}
+}
+
+// placeAll pins every page of the trace's address range to a GPM.
+func placeAll(tr *trace.Trace, pages int, gpm topo.GPMID) *trace.Trace {
+	for p := 0; p < pages; p++ {
+		tr.Placement = append(tr.Placement, trace.PlacementHint{Page: topo.Page(p), GPM: gpm})
+	}
+	return tr
+}
+
+func mustRun(t *testing.T, cfg Config, tr *trace.Trace) *Results {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := s.Run(tr)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func allKinds() []proto.Kind {
+	return []proto.Kind{proto.NoRemoteCache, proto.SWNonHier, proto.SWHier, proto.NHCC, proto.HMG, proto.Ideal}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, k := range allKinds() {
+		if err := tinyConfig(k).Validate(); err != nil {
+			t.Errorf("%v config invalid: %v", k, err)
+		}
+		if err := DefaultConfig(8, k).Validate(); err != nil {
+			t.Errorf("%v default config invalid: %v", k, err)
+		}
+	}
+	bad := tinyConfig(proto.HMG)
+	bad.MaxWarpInflight = 0
+	if bad.Validate() == nil {
+		t.Error("zero MaxWarpInflight accepted")
+	}
+	bad2 := tinyConfig(proto.HMG)
+	bad2.L1.LineSize = 64
+	if bad2.Validate() == nil {
+		t.Error("mismatched line size accepted")
+	}
+}
+
+func TestDefaultConfigMatchesTableII(t *testing.T) {
+	c := DefaultConfig(32, proto.HMG)
+	if c.Topo.NumGPUs != 4 || c.Topo.GPMsPerGPU != 4 {
+		t.Error("topology is not 4 GPUs × 4 GPMs")
+	}
+	if c.Topo.TotalSMs() != 512 {
+		t.Errorf("TotalSMs = %d, want 512", c.Topo.TotalSMs())
+	}
+	if c.L2Slice.CapacityBytes*c.Topo.GPMsPerGPU != 12<<20 {
+		t.Error("L2 is not 12MB per GPU")
+	}
+	if c.Dir.Entries != 12*1024 {
+		t.Error("directory is not 12K entries per GPM")
+	}
+	if c.Net.NVLinkGBs != 200 {
+		t.Error("inter-GPU bandwidth is not 200 GB/s")
+	}
+	if c.FrequencyHz != 1.3e9 {
+		t.Error("frequency is not 1.3 GHz")
+	}
+	if c.Topo.PageSize != 2<<20 {
+		t.Error("page size is not 2MB")
+	}
+}
+
+// TestSingleLoadAllProtocols: a single load completes and returns under
+// every protocol, and the simulation drains.
+func TestSingleLoadAllProtocols(t *testing.T) {
+	for _, k := range allKinds() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			tr := warpsTrace([]trace.Op{{Kind: trace.Load, Addr: 0}})
+			res := mustRun(t, tinyConfig(k), tr)
+			if res.Ops != 1 || res.Loads != 1 {
+				t.Fatalf("ops=%d loads=%d", res.Ops, res.Loads)
+			}
+			if res.Cycles == 0 {
+				t.Fatal("zero cycles")
+			}
+		})
+	}
+}
+
+// TestLoadHitsAfterFill: a repeated load hits the L1 the second time and
+// is much faster.
+func TestLoadHitsAfterFill(t *testing.T) {
+	tr := warpsTrace([]trace.Op{
+		{Kind: trace.Load, Addr: 0},
+		{Kind: trace.Load, Addr: 0, Gap: 1000},
+	})
+	res := mustRun(t, tinyConfig(proto.HMG), tr)
+	if res.L1Hits != 1 {
+		t.Fatalf("L1Hits = %d, want 1", res.L1Hits)
+	}
+}
+
+// TestStoreValueReachesDRAM: a store's value lands in the system home's
+// DRAM partition.
+func TestStoreValueReachesDRAM(t *testing.T) {
+	for _, k := range allKinds() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			// Page 0 placed on GPM 3 (GPU 1); the storing CTA runs on GPM 0.
+			tr := placeAll(warpsTrace([]trace.Op{
+				{Kind: trace.Store, Addr: 256, Val: 77},
+			}), 1, 3)
+			cfg := tinyConfig(k)
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Run(tr); err != nil {
+				t.Fatal(err)
+			}
+			if got := s.GPMs[3].DRAM.LoadValue(256); got != 77 {
+				t.Fatalf("DRAM value = %d, want 77", got)
+			}
+		})
+	}
+}
+
+// TestRemoteLoadReturnsStoredValue: kernel 1 stores on the home GPM;
+// kernel 2 (dependent) loads from a remote GPU and must see the value —
+// kernel boundaries are .sys release/acquire pairs.
+func TestRemoteLoadReturnsStoredValue(t *testing.T) {
+	for _, k := range allKinds() {
+		if k == proto.Ideal {
+			continue // Ideal is deliberately incoherent
+		}
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			got := uint64(0)
+			// CTA 0 → GPM 0 (GPU 0). Page on GPM 0. Kernel 2's CTAs: put
+			// 4 CTAs so CTA 3 lands on GPM 3 (GPU 1) and loads remotely.
+			tr := placeAll(&trace.Trace{
+				Name: "mp",
+				Kernels: []trace.Kernel{
+					{CTAs: []trace.CTA{{Warps: []trace.Warp{{Ops: []trace.Op{
+						{Kind: trace.Store, Addr: 512, Val: 99},
+					}}}}}},
+					{CTAs: []trace.CTA{
+						{}, {}, {},
+						{Warps: []trace.Warp{{Ops: []trace.Op{
+							{Kind: trace.Load, Addr: 512},
+						}}}},
+					}},
+				},
+			}, 1, 0)
+			cfg := tinyConfig(k)
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.OnLoadValue = func(_ topo.SMID, _ trace.Op, v uint64) { got = v }
+			if _, err := s.Run(tr); err != nil {
+				t.Fatal(err)
+			}
+			if got != 99 {
+				t.Fatalf("remote load after kernel boundary = %d, want 99", got)
+			}
+		})
+	}
+}
+
+// TestDeterminism: identical runs produce identical cycle counts and
+// traffic.
+func TestDeterminism(t *testing.T) {
+	tr := warpsTrace(
+		[]trace.Op{{Kind: trace.Load, Addr: 0}, {Kind: trace.Store, Addr: 128, Val: 1}, {Kind: trace.Load, Addr: 4096}},
+		[]trace.Op{{Kind: trace.Load, Addr: 128}, {Kind: trace.Store, Addr: 0, Val: 2}},
+		[]trace.Op{{Kind: trace.Atomic, Scope: trace.ScopeSys, Addr: 8192}},
+	)
+	run := func() *Results { return mustRun(t, tinyConfig(proto.HMG), tr) }
+	a, b := run(), run()
+	if a.Cycles != b.Cycles || a.InterGPUBytes != b.InterGPUBytes || a.EventsExecuted != b.EventsExecuted {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestKernelBarrierDrains: a trace ending in stores leaves no pending
+// gates after Run.
+func TestKernelBarrierDrains(t *testing.T) {
+	var ops []trace.Op
+	for i := 0; i < 20; i++ {
+		ops = append(ops, trace.Op{Kind: trace.Store, Addr: topo.Addr(i * 128), Val: uint64(i)})
+	}
+	cfg := tinyConfig(proto.HMG)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(warpsTrace(ops)); err != nil {
+		t.Fatal(err)
+	}
+	for _, sm := range s.SMs {
+		if sm.sysHomeGate.Pending() != 0 || sm.gpuHomeGate.Pending() != 0 {
+			t.Fatal("store gates not drained at kernel end")
+		}
+	}
+	for _, g := range s.GPMs {
+		if g.invAll.Pending() != 0 {
+			t.Fatal("invalidation gates not drained at kernel end")
+		}
+	}
+}
+
+// TestEmptyKernel: kernels with no ops complete.
+func TestEmptyKernel(t *testing.T) {
+	tr := &trace.Trace{Name: "empty", Kernels: []trace.Kernel{
+		{CTAs: []trace.CTA{{}}},
+		{CTAs: []trace.CTA{{Warps: []trace.Warp{{Ops: []trace.Op{{Kind: trace.Load, Addr: 0}}}}}}},
+	}}
+	res := mustRun(t, tinyConfig(proto.HMG), tr)
+	if len(res.KernelCycles) != 2 {
+		t.Fatalf("KernelCycles = %v", res.KernelCycles)
+	}
+}
+
+// TestMultiKernelCyclesAccumulate: cycles grow across kernels.
+func TestMultiKernelCyclesAccumulate(t *testing.T) {
+	tr := &trace.Trace{Name: "seq", Kernels: []trace.Kernel{
+		{CTAs: []trace.CTA{{Warps: []trace.Warp{{Ops: []trace.Op{{Kind: trace.Load, Addr: 0}}}}}}},
+		{CTAs: []trace.CTA{{Warps: []trace.Warp{{Ops: []trace.Op{{Kind: trace.Load, Addr: 0}}}}}}},
+	}}
+	res := mustRun(t, tinyConfig(proto.NHCC), tr)
+	if res.Cycles <= res.KernelCycles[0] {
+		t.Fatal("second kernel took no time")
+	}
+}

@@ -1,0 +1,137 @@
+package gsim
+
+import (
+	"hmg/internal/engine"
+	"hmg/internal/msg"
+	"hmg/internal/proto"
+	"hmg/internal/stats"
+	"hmg/internal/trace"
+)
+
+// Results is everything a simulation run reports. All byte counts are
+// wire bytes including headers.
+type Results struct {
+	Name     string
+	Protocol proto.Kind
+
+	Cycles  engine.Cycle
+	Seconds float64
+
+	Ops, Loads, Stores, Atomics uint64
+
+	L1Hits, L1Misses uint64
+	L2Hits, L2Misses uint64
+
+	// Traffic.
+	InterGPUBytes    uint64
+	IntraGPUBytes    uint64
+	InterGPULoadReqs uint64
+	InvMsgsOnWire    uint64
+	InvBytes         uint64 // all links, Fig. 11 numerator
+
+	// Directory profile (hardware protocols).
+	DirStoresSeen    uint64
+	DirStoresShared  uint64
+	DirStoresWithInv uint64
+	LinesInvByStores uint64 // Fig. 9 numerator
+	DirEvicts        uint64
+	LinesInvByEvicts uint64 // Fig. 10 numerator
+
+	DRAMReads, DRAMWrites uint64
+
+	// LoadLatencySum accumulates issue-to-completion cycles over plain
+	// loads, for average-latency reporting.
+	LoadLatencySum uint64
+	MaxLoadLatency uint64
+
+	// DrainCycles is time spent in kernel-end barriers after the last
+	// warp finished (store and invalidation drain).
+	DrainCycles engine.Cycle
+
+	KernelCycles   []engine.Cycle
+	EventsExecuted uint64
+}
+
+// collectResults aggregates component statistics after a run.
+func (s *System) collectResults(tr *trace.Trace) *Results {
+	r := &Results{
+		Name:           tr.Name,
+		Protocol:       s.Cfg.Policy.Kind,
+		Cycles:         s.Eng.Now(),
+		Seconds:        s.Eng.Seconds(s.Eng.Now()),
+		Ops:            s.ops,
+		Loads:          s.loads,
+		Stores:         s.stores,
+		Atomics:        s.atomics,
+		EventsExecuted: s.Eng.Executed,
+		LoadLatencySum: s.loadLatSum,
+		MaxLoadLatency: s.maxLoadLat,
+		DrainCycles:    s.drainCycles,
+	}
+	for _, sm := range s.SMs {
+		r.L1Hits += sm.L1.Stats.Hits
+		r.L1Misses += sm.L1.Stats.Misses
+	}
+	for _, g := range s.GPMs {
+		r.L2Hits += g.L2.Stats.Hits
+		r.L2Misses += g.L2.Stats.Misses
+		r.DRAMReads += g.DRAM.Stats.Reads
+		r.DRAMWrites += g.DRAM.Stats.Writes
+		if g.Dir != nil {
+			r.DirStoresSeen += g.Dir.StoresSeen
+			r.DirStoresShared += g.Dir.StoresSharedData
+			r.DirStoresWithInv += g.Dir.StoresWithInvs
+			r.LinesInvByStores += g.Dir.LinesInvByStores
+			r.DirEvicts += g.Dir.Dir.Stats.Evicts
+			r.LinesInvByEvicts += g.Dir.LinesInvByEvicts
+		}
+	}
+	inter := s.Net.InterGPUBytes()
+	intra := s.Net.IntraGPUBytes()
+	for k := 0; k < msg.NumKinds; k++ {
+		r.InterGPUBytes += inter[k]
+		r.IntraGPUBytes += intra[k]
+	}
+	r.InvBytes = inter[msg.Inv] + intra[msg.Inv]
+	r.InvMsgsOnWire = s.Net.InterGPUMsgs[msg.Inv] + s.Net.IntraGPUMsgs[msg.Inv]
+	r.InterGPULoadReqs = s.Net.InterGPUMsgs[msg.LoadReq]
+	return r
+}
+
+// AvgLoadLatency returns mean plain-load latency in cycles.
+func (r *Results) AvgLoadLatency() float64 { return stats.Ratio(r.LoadLatencySum, r.Loads) }
+
+// L1HitRate returns the L1 hit fraction.
+func (r *Results) L1HitRate() float64 { return stats.Ratio(r.L1Hits, r.L1Hits+r.L1Misses) }
+
+// L2HitRate returns the L2 hit fraction.
+func (r *Results) L2HitRate() float64 { return stats.Ratio(r.L2Hits, r.L2Hits+r.L2Misses) }
+
+// InvLinesPerStore returns the Fig. 9 metric: average cache lines
+// invalidated per store request on shared (directory-tracked) data.
+func (r *Results) InvLinesPerStore() float64 {
+	return stats.Ratio(r.LinesInvByStores, r.DirStoresShared)
+}
+
+// InvLinesPerDirEvict returns the Fig. 10 metric: average cache lines
+// invalidated per coherence directory eviction.
+func (r *Results) InvLinesPerDirEvict() float64 {
+	return stats.Ratio(r.LinesInvByEvicts, r.DirEvicts)
+}
+
+// InvBandwidthGBs returns the Fig. 11 metric: total bandwidth cost of
+// invalidation messages in GB/s of simulated time.
+func (r *Results) InvBandwidthGBs() float64 {
+	if r.Seconds == 0 {
+		return 0
+	}
+	return float64(r.InvBytes) / r.Seconds / 1e9
+}
+
+// InterGPUGBs returns the average inter-GPU traffic in GB/s.
+func (r *Results) InterGPUGBs() float64 {
+	if r.Seconds == 0 {
+		return 0
+	}
+	return float64(r.InterGPUBytes) / r.Seconds / 1e9
+}

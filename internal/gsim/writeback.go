@@ -1,0 +1,171 @@
+package gsim
+
+// The write-back L2 design option of Section IV. Plain (.cta-or-weaker)
+// stores that hit in the GPM-local L2 slice dirty it instead of writing
+// through. Dirty data flushes to the home hierarchy:
+//
+//   - on release operations and kernel boundaries ("release operations
+//     trigger a writeback of all dirty data to the respective home
+//     nodes"),
+//   - on acquire-driven bulk invalidations under software coherence (the
+//     data would otherwise be lost with the flash-clear),
+//   - on dirty-line evictions, using the WriteBack message whose issuing
+//     GPM "need not be tracked as a sharer going forward".
+//
+// Synchronizing stores always write through, preserving forward
+// progress. All flushes are tracked by the issuing SM's store gates, so
+// releases and kernel barriers wait for them exactly as they wait for
+// write-throughs.
+
+import (
+	"hmg/internal/cache"
+	"hmg/internal/msg"
+	"hmg/internal/proto"
+	"hmg/internal/topo"
+)
+
+// tryWriteBackHit attempts to absorb a plain store into the local L2
+// slice. It returns true when absorbed; the caller then releases the
+// store's gates (the flush mechanism takes over the visibility
+// obligation).
+func (s *System) tryWriteBackHit(g topo.GPMID, line topo.Line, word uint16, val uint64) bool {
+	e, hit := s.gpmOf(g).L2.Lookup(line)
+	if !hit {
+		return false
+	}
+	e.Dirty = true
+	if s.Cfg.TrackValues {
+		e.SetValue(word, val)
+	}
+	return true
+}
+
+// flushDirtySlice writes every dirty line of one GPM's L2 slice back to
+// its home hierarchy, charging the given SM's store gates. It returns
+// the number of lines flushed.
+func (s *System) flushDirtySlice(g topo.GPMID, sm *SM) int {
+	return s.gpmOf(g).L2.FlushDirty(func(e cache.Entry) {
+		s.writeBackLine(g, sm, e.Line, e.Data)
+	})
+}
+
+// flushAllDirty flushes every GPM's dirty lines, charging each GPM's
+// first SM — the implicit .sys release of a kernel boundary.
+func (s *System) flushAllDirty() {
+	if !s.Cfg.WriteBack {
+		return
+	}
+	for _, g := range s.GPMs {
+		sm := s.SMs[s.Cfg.Topo.SM(g.id, 0)]
+		s.flushDirtySlice(g.id, sm)
+	}
+}
+
+// writeBackLine sends one dirty line toward its home nodes. Routing
+// follows the store path (GPU home, then system home, under hierarchical
+// policies); the line's data is carried whole.
+func (s *System) writeBackLine(g topo.GPMID, sm *SM, line topo.Line, data fillData) {
+	sm.gpuHomeGate.Start()
+	sm.sysHomeGate.Start()
+	onGPU := func() { sm.gpuHomeGate.Finish() }
+	onSys := func() { sm.sysHomeGate.Finish() }
+	sysHome := s.Pages.SysHome(line)
+	hier := s.Cfg.Policy.Hierarchical
+	gpuHome := sysHome
+	if hier {
+		gpuHome = s.Pages.GPUHome(s.Cfg.Topo.GPUOf(g), line)
+	}
+	var snapshot fillData
+	if s.Cfg.TrackValues {
+		snapshot = make(fillData, len(data))
+		for w, v := range data {
+			snapshot[w] = v
+		}
+	}
+	switch {
+	case g == sysHome:
+		s.wbAtSysHome(g, proto.Requester{}, true, line, snapshot, onGPU, onSys)
+	case hier && gpuHome != sysHome && g == gpuHome:
+		s.wbAtGPUHome(g, g, line, snapshot, onGPU, onSys)
+	case hier && gpuHome != sysHome:
+		s.send(g, gpuHome, msg.WriteBack, func() {
+			s.wbAtGPUHome(gpuHome, g, line, snapshot, onGPU, onSys)
+		})
+	default:
+		req := s.flatRequester(g, sysHome)
+		s.send(g, sysHome, msg.WriteBack, func() {
+			s.wbAtSysHome(sysHome, req, false, line, snapshot, onGPU, onSys)
+		})
+	}
+}
+
+// wbAtGPUHome applies a writeback at a GPU home node and forwards it to
+// the system home. Per the Section IV option, the issuing GPM is not
+// recorded as a sharer; other sharers of changed data are invalidated.
+func (s *System) wbAtGPUHome(h, fromGPM topo.GPMID, line topo.Line, data fillData, onGPU, onSys func()) {
+	gpm := s.gpmOf(h)
+	sysHome := s.Pages.SysHome(line)
+	s.Eng.Schedule(s.Cfg.L2Latency, func() {
+		if gpm.Dir != nil {
+			req := proto.GPMRequester(s.Cfg.Topo.LocalOf(fromGPM))
+			if fromGPM == h {
+				s.sendInvs(gpm, gpm.Dir.Dir.RegionOf(line), gpm.Dir.LocalStore(line))
+			} else {
+				inv, evR, evT := gpm.Dir.RemoteStore(line, req)
+				s.sendInvs(gpm, gpm.Dir.Dir.RegionOf(line), inv)
+				s.sendInvs(gpm, evR, evT)
+				gpm.Dir.DropSharer(line, req) // "need not be tracked going forward"
+			}
+		}
+		if e, hit := gpm.L2.Peek(line); hit {
+			if s.Cfg.TrackValues {
+				e.MergeFrom(data)
+			}
+		} else {
+			gpm.poisonLine(line)
+		}
+		onGPU()
+		s.send(h, sysHome, msg.WriteBack, func() {
+			s.wbAtSysHome(sysHome, proto.GPURequester(int(gpm.gpu)), false, line, data, nil, onSys)
+		})
+	})
+}
+
+// wbAtSysHome applies a writeback at the system home: directory store
+// transition without retaining the writer as a sharer, home-copy merge,
+// and the DRAM write.
+func (s *System) wbAtSysHome(sh topo.GPMID, req proto.Requester, local bool, line topo.Line, data fillData, onGPU, onSys func()) {
+	gpm := s.gpmOf(sh)
+	s.Eng.Schedule(s.Cfg.L2Latency, func() {
+		if gpm.Dir != nil {
+			if local {
+				s.sendInvs(gpm, gpm.Dir.Dir.RegionOf(line), gpm.Dir.LocalStore(line))
+			} else {
+				inv, evR, evT := gpm.Dir.RemoteStore(line, req)
+				s.sendInvs(gpm, gpm.Dir.Dir.RegionOf(line), inv)
+				s.sendInvs(gpm, evR, evT)
+				gpm.Dir.DropSharer(line, req)
+			}
+		}
+		if e, hit := gpm.L2.Peek(line); hit {
+			if s.Cfg.TrackValues {
+				e.MergeFrom(data)
+			}
+		} else {
+			gpm.poisonLine(line)
+		}
+		if s.Cfg.TrackValues {
+			base := topo.Addr(uint64(line) * uint64(s.Cfg.Topo.LineSize))
+			for w, v := range data {
+				gpm.DRAM.StoreValue(base+topo.Addr(w)*4, v)
+			}
+		}
+		gpm.DRAM.Write(s.Cfg.Topo.LineSize, nil)
+		if onGPU != nil {
+			onGPU()
+		}
+		if onSys != nil {
+			onSys()
+		}
+	})
+}

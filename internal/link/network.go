@@ -1,0 +1,149 @@
+package link
+
+import (
+	"fmt"
+
+	"hmg/internal/engine"
+	"hmg/internal/msg"
+	"hmg/internal/topo"
+)
+
+// NetConfig parameterizes the system interconnect. Bandwidths are per
+// direction; latencies are one-way.
+type NetConfig struct {
+	// XbarPortGBs is the bandwidth of each GPM's crossbar port, per
+	// direction. With GPMsPerGPU ports this yields the paper's aggregate
+	// inter-GPM bandwidth (2 TB/s per GPU at 4 × 500 GB/s).
+	XbarPortGBs float64
+	// NVLinkGBs is the per-GPU inter-GPU link bandwidth per direction
+	// (200 GB/s in Table II).
+	NVLinkGBs float64
+	// XbarLatency is the one-way latency of an intra-GPU hop.
+	XbarLatency engine.Cycle
+	// NVLinkLatency is the additional one-way latency of an inter-GPU hop
+	// (on top of the crossbar hops at both ends).
+	NVLinkLatency engine.Cycle
+	// LocalLatency is the cost of a GPM-internal L2 visit hop.
+	LocalLatency engine.Cycle
+	// Sizes gives the wire size of each message kind.
+	Sizes msg.Sizes
+}
+
+// DefaultNetConfig returns the Table II interconnect.
+func DefaultNetConfig() NetConfig {
+	return NetConfig{
+		XbarPortGBs:   500,
+		NVLinkGBs:     200,
+		XbarLatency:   45,
+		NVLinkLatency: 250,
+		LocalLatency:  1,
+		Sizes:         msg.DefaultSizes(),
+	}
+}
+
+// Network routes messages between GPMs through crossbar ports and
+// inter-GPU links, modeling bandwidth at every traversed port.
+type Network struct {
+	eng  *engine.Engine
+	topo topo.Topology
+	cfg  NetConfig
+
+	xbarOut []*Link // per GPM, onto the GPU crossbar
+	xbarIn  []*Link // per GPM, from the GPU crossbar
+	upLink  []*Link // per GPU, to the NVSwitch
+	dnLink  []*Link // per GPU, from the NVSwitch
+
+	// InterGPUMsgs counts messages that crossed GPUs, by kind.
+	InterGPUMsgs [msg.NumKinds]uint64
+	// IntraGPUMsgs counts messages between distinct GPMs of one GPU.
+	IntraGPUMsgs [msg.NumKinds]uint64
+	// LocalMsgs counts GPM-internal messages.
+	LocalMsgs uint64
+}
+
+// NewNetwork builds the interconnect for a topology.
+func NewNetwork(eng *engine.Engine, t topo.Topology, cfg NetConfig) *Network {
+	n := &Network{eng: eng, topo: t, cfg: cfg}
+	for g := 0; g < t.TotalGPMs(); g++ {
+		n.xbarOut = append(n.xbarOut, NewLink(eng, fmt.Sprintf("xbar-out[gpm%d]", g), cfg.XbarPortGBs, cfg.XbarLatency))
+		n.xbarIn = append(n.xbarIn, NewLink(eng, fmt.Sprintf("xbar-in[gpm%d]", g), cfg.XbarPortGBs, 0))
+	}
+	for u := 0; u < t.NumGPUs; u++ {
+		n.upLink = append(n.upLink, NewLink(eng, fmt.Sprintf("nvlink-up[gpu%d]", u), cfg.NVLinkGBs, cfg.NVLinkLatency/2))
+		n.dnLink = append(n.dnLink, NewLink(eng, fmt.Sprintf("nvlink-dn[gpu%d]", u), cfg.NVLinkGBs, cfg.NVLinkLatency/2))
+	}
+	return n
+}
+
+// Config returns the network's configuration.
+func (n *Network) Config() NetConfig { return n.cfg }
+
+// Send routes a message of kind k from one GPM to another, invoking
+// deliver on arrival. Same-GPM sends take only LocalLatency and consume
+// no link bandwidth.
+func (n *Network) Send(from, to topo.GPMID, k msg.Kind, deliver func()) {
+	bytes := n.cfg.Sizes.Bytes(k)
+	switch {
+	case from == to:
+		n.LocalMsgs++
+		n.eng.Schedule(n.cfg.LocalLatency, deliver)
+	case n.topo.SameGPU(from, to):
+		n.IntraGPUMsgs[k]++
+		n.xbarOut[from].Send(k, bytes, func() {
+			n.xbarIn[to].Send(k, bytes, deliver)
+		})
+	default:
+		n.InterGPUMsgs[k]++
+		src, dst := n.topo.GPUOf(from), n.topo.GPUOf(to)
+		n.xbarOut[from].Send(k, bytes, func() {
+			n.upLink[src].Send(k, bytes, func() {
+				n.dnLink[dst].Send(k, bytes, func() {
+					n.xbarIn[to].Send(k, bytes, deliver)
+				})
+			})
+		})
+	}
+}
+
+// InterGPUBytes returns total bytes carried over inter-GPU links (up and
+// down), by kind.
+func (n *Network) InterGPUBytes() [msg.NumKinds]uint64 {
+	var out [msg.NumKinds]uint64
+	for _, l := range n.upLink {
+		for k, b := range l.Bytes {
+			out[k] += b
+		}
+	}
+	for _, l := range n.dnLink {
+		for k, b := range l.Bytes {
+			out[k] += b
+		}
+	}
+	return out
+}
+
+// IntraGPUBytes returns total bytes carried over crossbar ports, by kind.
+func (n *Network) IntraGPUBytes() [msg.NumKinds]uint64 {
+	var out [msg.NumKinds]uint64
+	for _, l := range n.xbarOut {
+		for k, b := range l.Bytes {
+			out[k] += b
+		}
+	}
+	for _, l := range n.xbarIn {
+		for k, b := range l.Bytes {
+			out[k] += b
+		}
+	}
+	return out
+}
+
+// UpLinkUtilization returns the mean utilization of the GPU uplinks over
+// the elapsed simulated cycles.
+func (n *Network) UpLinkUtilization(elapsed engine.Cycle) float64 {
+	var u float64
+	for _, l := range n.upLink {
+		u += l.Utilization(elapsed)
+	}
+	return u / float64(len(n.upLink))
+}

@@ -1,0 +1,50 @@
+package msg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "Kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if !strings.Contains(Kind(200).String(), "200") {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func TestDefaultSizes(t *testing.T) {
+	s := DefaultSizes()
+	if s.Header != 16 || s.Line != 128 || s.StorePayload != 32 {
+		t.Fatalf("defaults = %+v", s)
+	}
+	cases := map[Kind]int{
+		LoadReq:    16,
+		StoreReq:   48,
+		AtomicReq:  24,
+		AtomicResp: 24,
+		DataResp:   144,
+		WriteBack:  144,
+		Inv:        16,
+		RelFence:   16,
+		RelAck:     16,
+		Downgrade:  16,
+	}
+	for k, want := range cases {
+		if got := s.Bytes(k); got != want {
+			t.Errorf("Bytes(%v) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+// TestInvalidationsAreCheap documents the property Fig. 11 relies on:
+// an invalidation is small relative to a cache line transfer.
+func TestInvalidationsAreCheap(t *testing.T) {
+	s := DefaultSizes()
+	if s.Bytes(Inv)*4 > s.Bytes(DataResp) {
+		t.Fatal("invalidation messages not small relative to data transfers")
+	}
+}

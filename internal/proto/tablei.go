@@ -1,0 +1,156 @@
+package proto
+
+import (
+	"hmg/internal/directory"
+	"hmg/internal/topo"
+)
+
+// Requester identifies the sender of a request as seen by a home node's
+// directory: either a GPM (a global id under NHCC, a GPU-local module
+// index under HMG) or, at an HMG system home node, a whole GPU.
+type Requester struct {
+	IsGPU bool
+	ID    int
+}
+
+// GPMRequester names a GPM requester.
+func GPMRequester(id int) Requester { return Requester{ID: id} }
+
+// GPURequester names a GPU requester.
+func GPURequester(id int) Requester { return Requester{IsGPU: true, ID: id} }
+
+func (r Requester) bit() directory.Sharers {
+	if r.IsGPU {
+		return directory.GPUBit(r.ID)
+	}
+	return directory.GPMBit(r.ID)
+}
+
+// InvTarget is one destination of an invalidation: a GPM sharer (local
+// module index or global id, matching the requester space) or a GPU
+// sharer (whose GPU home node must forward the invalidation, the
+// HMG-only transition of Table I).
+type InvTarget struct {
+	IsGPU bool
+	ID    int
+}
+
+// DirCtrl wraps a directory with the NHCC/HMG transition table (paper
+// Table I). All methods return the invalidation targets the caller must
+// send; the directory itself never generates traffic.
+//
+// Table I, with s the sender:
+//
+//	State | Local Ld | Local St/Atom        | Remote Ld        | Remote St/Atom                     | Replace Dir Entry   | Invalidation (HMG only)
+//	I     | -        | -                    | add s, →V        | add s, →V                          | n/a                 | →I (nothing tracked)
+//	V     | -        | inv all sharers, →I  | add s to sharers | add s, inv other sharers           | inv all sharers, →I | forward inv to all sharers, →I
+type DirCtrl struct {
+	Dir *directory.Dir
+
+	// Stats for the Fig. 9/10 profiles.
+	StoresSeen       uint64 // remote/local stores consulting the directory
+	StoresSharedData uint64 // stores that found a tracked entry
+	StoresWithInvs   uint64 // stores that invalidated at least one sharer
+	LinesInvByStores uint64 // sharer targets × granularity lines, store-triggered
+	LinesInvByEvicts uint64 // sharer targets × granularity lines, eviction-triggered
+	InvMsgsByStores  uint64
+	InvMsgsByEvicts  uint64
+	InvMsgsForwarded uint64 // HMG second-level fan-out
+}
+
+// NewDirCtrl builds a Table I controller over a directory.
+func NewDirCtrl(cfg directory.Config) *DirCtrl {
+	return &DirCtrl{Dir: directory.New(cfg)}
+}
+
+func targetsOf(s directory.Sharers) []InvTarget {
+	var out []InvTarget
+	s.GPMs(func(i int) { out = append(out, InvTarget{ID: i}) })
+	s.GPUs(func(j int) { out = append(out, InvTarget{IsGPU: true, ID: j}) })
+	return out
+}
+
+// RemoteLoad records s as a sharer of the region holding line l,
+// allocating the entry (I→V) if needed. The returned eviction targets
+// (with their region) are non-nil when the allocation displaced a valid
+// entry whose sharers must be invalidated.
+func (c *DirCtrl) RemoteLoad(l topo.Line, s Requester) (evictRegion directory.Region, evictTargets []InvTarget) {
+	e, victim := c.Dir.Ensure(c.Dir.RegionOf(l))
+	e.Sharers = e.Sharers.With(s.bit())
+	return c.evictTargets(victim)
+}
+
+// RemoteStore records s as a sharer and returns the other sharers to
+// invalidate, plus any eviction fan-out from allocating the entry.
+func (c *DirCtrl) RemoteStore(l topo.Line, s Requester) (inv []InvTarget, evictRegion directory.Region, evictTargets []InvTarget) {
+	c.StoresSeen++
+	r := c.Dir.RegionOf(l)
+	if _, ok := c.Dir.Lookup(r); ok {
+		c.StoresSharedData++
+	}
+	e, victim := c.Dir.Ensure(r)
+	others := e.Sharers.Without(s.bit())
+	e.Sharers = e.Sharers.With(s.bit()).Without(others)
+	inv = targetsOf(others)
+	if len(inv) > 0 {
+		c.StoresWithInvs++
+		c.InvMsgsByStores += uint64(len(inv))
+		c.LinesInvByStores += uint64(len(inv) * c.Dir.Config().GranLines)
+	}
+	evictRegion, evictTargets = c.evictTargets(victim)
+	return inv, evictRegion, evictTargets
+}
+
+// LocalStore handles a store by the home GPM itself: all sharers are
+// invalidated and the entry transitions V→I. Stores that find no entry
+// (state I) do nothing.
+func (c *DirCtrl) LocalStore(l topo.Line) []InvTarget {
+	c.StoresSeen++
+	r := c.Dir.RegionOf(l)
+	e, ok := c.Dir.Lookup(r)
+	if !ok {
+		return nil
+	}
+	c.StoresSharedData++
+	inv := targetsOf(e.Sharers)
+	c.Dir.Drop(r)
+	if len(inv) > 0 {
+		c.StoresWithInvs++
+		c.InvMsgsByStores += uint64(len(inv))
+		c.LinesInvByStores += uint64(len(inv) * c.Dir.Config().GranLines)
+	}
+	return inv
+}
+
+// Invalidation handles an invalidation arriving from the system home node
+// at a GPU home node (the HMG-only transition): the entry's GPM sharers
+// must be forwarded the invalidation, and the entry transitions to I.
+func (c *DirCtrl) Invalidation(r directory.Region) []InvTarget {
+	e, ok := c.Dir.Lookup(r)
+	if !ok {
+		return nil
+	}
+	inv := targetsOf(e.Sharers)
+	c.Dir.Drop(r)
+	c.InvMsgsForwarded += uint64(len(inv))
+	return inv
+}
+
+// DropSharer removes s from the region's sharer set if tracked (the
+// optional Downgrade optimization). Entries left with no sharers remain
+// valid; they cost a future invalidation only if re-evicted.
+func (c *DirCtrl) DropSharer(l topo.Line, s Requester) {
+	if e, ok := c.Dir.Lookup(c.Dir.RegionOf(l)); ok {
+		e.Sharers = e.Sharers.Without(s.bit())
+	}
+}
+
+func (c *DirCtrl) evictTargets(victim *directory.Entry) (directory.Region, []InvTarget) {
+	if victim == nil {
+		return 0, nil
+	}
+	inv := targetsOf(victim.Sharers)
+	c.InvMsgsByEvicts += uint64(len(inv))
+	c.LinesInvByEvicts += uint64(len(inv) * c.Dir.Config().GranLines)
+	return victim.Region, inv
+}

@@ -1,0 +1,224 @@
+package proto
+
+import (
+	"testing"
+
+	"hmg/internal/directory"
+	"hmg/internal/topo"
+)
+
+func ctrl() *DirCtrl {
+	return NewDirCtrl(directory.Config{Entries: 16, Ways: 4, GranLines: 4})
+}
+
+// TestTableI_RemoteLoadFromI covers: state I, remote load → add s, →V.
+func TestTableI_RemoteLoadFromI(t *testing.T) {
+	c := ctrl()
+	_, evs := c.RemoteLoad(0, GPMRequester(2))
+	if evs != nil {
+		t.Fatal("eviction from empty directory")
+	}
+	e, ok := c.Dir.Lookup(0)
+	if !ok {
+		t.Fatal("entry not allocated (I→V)")
+	}
+	if !e.Sharers.Has(directory.GPMBit(2)) || e.Sharers.Count() != 1 {
+		t.Fatalf("sharers = %v, want [GPM2]", e.Sharers)
+	}
+}
+
+// TestTableI_RemoteLoadFromV covers: state V, remote load → add s.
+func TestTableI_RemoteLoadFromV(t *testing.T) {
+	c := ctrl()
+	c.RemoteLoad(0, GPMRequester(1))
+	c.RemoteLoad(1, GPMRequester(3)) // same region (granularity 4)
+	e, _ := c.Dir.Lookup(0)
+	if e.Sharers.Count() != 2 || !e.Sharers.Has(directory.GPMBit(1)) || !e.Sharers.Has(directory.GPMBit(3)) {
+		t.Fatalf("sharers = %v, want [GPM1 GPM3]", e.Sharers)
+	}
+	if c.Dir.Live() != 1 {
+		t.Fatalf("Live = %d; lines 0 and 1 share one region", c.Dir.Live())
+	}
+}
+
+// TestTableI_RemoteStoreFromI covers: state I, remote store → add s, →V,
+// no invalidations.
+func TestTableI_RemoteStoreFromI(t *testing.T) {
+	c := ctrl()
+	inv, _, _ := c.RemoteStore(0, GPMRequester(2))
+	if inv != nil {
+		t.Fatalf("invalidations from state I: %v", inv)
+	}
+	e, ok := c.Dir.Lookup(0)
+	if !ok || !e.Sharers.Has(directory.GPMBit(2)) {
+		t.Fatal("store did not allocate and track requester")
+	}
+	if c.StoresSeen != 1 || c.StoresSharedData != 0 || c.StoresWithInvs != 0 {
+		t.Fatalf("stats = seen %d shared %d withInvs %d", c.StoresSeen, c.StoresSharedData, c.StoresWithInvs)
+	}
+}
+
+// TestTableI_RemoteStoreFromV covers: state V, remote store → add s, inv
+// other sharers (but not the requester).
+func TestTableI_RemoteStoreFromV(t *testing.T) {
+	c := ctrl()
+	c.RemoteLoad(0, GPMRequester(1))
+	c.RemoteLoad(0, GPMRequester(3))
+	c.RemoteLoad(0, GPURequester(2)) // HMG sys-home mixes GPM and GPU sharers
+	inv, _, _ := c.RemoteStore(0, GPMRequester(1))
+	if len(inv) != 2 {
+		t.Fatalf("invalidated %v, want GPM3 and GPU2", inv)
+	}
+	seenGPM3, seenGPU2 := false, false
+	for _, tg := range inv {
+		if !tg.IsGPU && tg.ID == 3 {
+			seenGPM3 = true
+		}
+		if tg.IsGPU && tg.ID == 2 {
+			seenGPU2 = true
+		}
+		if !tg.IsGPU && tg.ID == 1 {
+			t.Fatal("requester invalidated itself")
+		}
+	}
+	if !seenGPM3 || !seenGPU2 {
+		t.Fatalf("targets = %v", inv)
+	}
+	e, _ := c.Dir.Lookup(0)
+	if e.Sharers.Count() != 1 || !e.Sharers.Has(directory.GPMBit(1)) {
+		t.Fatalf("post-store sharers = %v, want only requester", e.Sharers)
+	}
+	if c.StoresWithInvs != 1 || c.LinesInvByStores != 2*4 {
+		t.Fatalf("inv stats: withInvs %d lines %d", c.StoresWithInvs, c.LinesInvByStores)
+	}
+}
+
+// TestTableI_LocalStoreFromV covers: state V, local store → inv all
+// sharers, →I.
+func TestTableI_LocalStoreFromV(t *testing.T) {
+	c := ctrl()
+	c.RemoteLoad(0, GPMRequester(1))
+	c.RemoteLoad(0, GPURequester(3))
+	inv := c.LocalStore(0)
+	if len(inv) != 2 {
+		t.Fatalf("invalidated %d sharers, want 2", len(inv))
+	}
+	if _, ok := c.Dir.Lookup(0); ok {
+		t.Fatal("entry survived local store (want →I)")
+	}
+}
+
+// TestTableI_LocalStoreFromI covers: state I, local store → no action.
+func TestTableI_LocalStoreFromI(t *testing.T) {
+	c := ctrl()
+	if inv := c.LocalStore(0); inv != nil {
+		t.Fatalf("invalidations from state I: %v", inv)
+	}
+	if c.Dir.Live() != 0 {
+		t.Fatal("local store allocated an entry")
+	}
+}
+
+// TestTableI_ReplaceDirEntry covers: eviction → inv all sharers, →I.
+func TestTableI_ReplaceDirEntry(t *testing.T) {
+	c := ctrl() // 4 sets × 4 ways
+	sets := uint64(4)
+	gran := uint64(4)
+	// Fill set 0 with 4 regions (lines spaced region-stride × numSets).
+	for i := uint64(0); i < 4; i++ {
+		c.RemoteLoad(lineOfRegion(i*sets, gran), GPMRequester(int(i)))
+	}
+	evRegion, evTargets := c.RemoteLoad(lineOfRegion(4*sets, gran), GPMRequester(7))
+	if len(evTargets) != 1 || evTargets[0].ID != 0 {
+		t.Fatalf("eviction targets = %v, want [GPM0]", evTargets)
+	}
+	if evRegion != 0 {
+		t.Fatalf("evicted region = %d, want 0", evRegion)
+	}
+	if c.LinesInvByEvicts != 4 {
+		t.Fatalf("LinesInvByEvicts = %d, want 4 (1 sharer × 4 lines)", c.LinesInvByEvicts)
+	}
+}
+
+func lineOfRegion(r, gran uint64) topo.Line { return topo.Line(r * gran) }
+
+// TestTableI_InvalidationHMGForward covers the HMG-only transition: an
+// invalidation arriving at a GPU home forwards to all GPM sharers, →I.
+func TestTableI_InvalidationHMGForward(t *testing.T) {
+	c := ctrl()
+	c.RemoteLoad(0, GPMRequester(0))
+	c.RemoteLoad(0, GPMRequester(2))
+	fw := c.Invalidation(c.Dir.RegionOf(0))
+	if len(fw) != 2 {
+		t.Fatalf("forwarded to %v, want 2 GPM sharers", fw)
+	}
+	if _, ok := c.Dir.Lookup(0); ok {
+		t.Fatal("entry survived invalidation (want →I)")
+	}
+	if c.InvMsgsForwarded != 2 {
+		t.Fatalf("InvMsgsForwarded = %d", c.InvMsgsForwarded)
+	}
+}
+
+// TestTableI_InvalidationUntracked: invalidation of an untracked region
+// forwards nothing.
+func TestTableI_InvalidationUntracked(t *testing.T) {
+	c := ctrl()
+	if fw := c.Invalidation(9); fw != nil {
+		t.Fatalf("forwarded %v for untracked region", fw)
+	}
+}
+
+// TestNoTransientStates verifies the structural claim of the paper: the
+// directory entry carries exactly a sharer set; every transition
+// completes synchronously with no intermediate state.
+func TestNoTransientStates(t *testing.T) {
+	c := ctrl()
+	// Interleave operations arbitrarily; after each, the entry is either
+	// absent (I) or present (V) — there is nothing else to observe.
+	ops := []func(){
+		func() { c.RemoteLoad(0, GPMRequester(1)) },
+		func() { c.RemoteStore(0, GPMRequester(2)) },
+		func() { c.LocalStore(0) },
+		func() { c.RemoteLoad(0, GPURequester(1)) },
+		func() { c.Invalidation(c.Dir.RegionOf(0)) },
+	}
+	for i, op := range ops {
+		op()
+		_, present := c.Dir.Lookup(0)
+		wantPresent := []bool{true, true, false, true, false}[i]
+		if present != wantPresent {
+			t.Fatalf("after op %d: present=%v, want %v", i, present, wantPresent)
+		}
+	}
+}
+
+func TestDropSharerDowngrade(t *testing.T) {
+	c := ctrl()
+	c.RemoteLoad(0, GPMRequester(1))
+	c.RemoteLoad(0, GPMRequester(2))
+	c.DropSharer(0, GPMRequester(1))
+	e, _ := c.Dir.Lookup(0)
+	if e.Sharers.Has(directory.GPMBit(1)) {
+		t.Fatal("downgrade did not drop sharer")
+	}
+	if !e.Sharers.Has(directory.GPMBit(2)) {
+		t.Fatal("downgrade dropped wrong sharer")
+	}
+	// Downgrade of untracked line is a no-op.
+	c.DropSharer(999, GPMRequester(1))
+}
+
+// TestStoreToOwnSharedLine: a store by the only sharer must not
+// invalidate anyone.
+func TestStoreToOwnSharedLine(t *testing.T) {
+	c := ctrl()
+	c.RemoteLoad(0, GPMRequester(1))
+	inv, _, _ := c.RemoteStore(0, GPMRequester(1))
+	if len(inv) != 0 {
+		t.Fatalf("self-store invalidated %v", inv)
+	}
+	if c.StoresSharedData != 1 {
+		t.Fatalf("StoresSharedData = %d (entry existed)", c.StoresSharedData)
+	}
+}

@@ -1,0 +1,83 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CSV renders the table as comma-separated values with a header row.
+// Notes are emitted as trailing comment lines ("# ...").
+func (t *Table) CSV() string {
+	prec := t.Precision
+	if prec == 0 {
+		prec = 2
+	}
+	var b strings.Builder
+	b.WriteString("name")
+	for _, c := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(c))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(csvEscape(r.Label))
+		for i := range t.Columns {
+			b.WriteByte(',')
+			if i < len(r.Cells) {
+				fmt.Fprintf(&b, "%.*f", prec, r.Cells[i])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table with
+// the title as a heading and notes as a trailing list.
+func (t *Table) Markdown() string {
+	prec := t.Precision
+	if prec == 0 {
+		prec = 2
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	b.WriteString("| |")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " %s |", c)
+	}
+	b.WriteString("\n|---|")
+	for range t.Columns {
+		b.WriteString("---:|")
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "| %s |", r.Label)
+		for i := range t.Columns {
+			if i < len(r.Cells) {
+				fmt.Fprintf(&b, " %.*f |", prec, r.Cells[i])
+			} else {
+				b.WriteString(" - |")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Notes) > 0 {
+		b.WriteByte('\n')
+		for _, n := range t.Notes {
+			fmt.Fprintf(&b, "- %s\n", n)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,130 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{Title: "Fig X", Columns: []string{"A", "B"}}
+	t.Add("one", 1.0, 2.0)
+	t.Add("two", 4.0, 8.0)
+	return t
+}
+
+func TestStringLayout(t *testing.T) {
+	s := sample().String()
+	if !strings.Contains(s, "Fig X") {
+		t.Error("missing title")
+	}
+	for _, want := range []string{"one", "two", "1.00", "8.00", "A", "B"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, rule, header, two rows
+		t.Errorf("got %d lines:\n%s", len(lines), s)
+	}
+}
+
+func TestGeoMeanRow(t *testing.T) {
+	tab := sample()
+	tab.AddGeoMeanRow("GeoMean")
+	last := tab.Rows[len(tab.Rows)-1]
+	if last.Label != "GeoMean" {
+		t.Fatal("geomean row not added")
+	}
+	if math.Abs(last.Cells[0]-2.0) > 1e-9 || math.Abs(last.Cells[1]-4.0) > 1e-9 {
+		t.Fatalf("geomean cells = %v", last.Cells)
+	}
+}
+
+func TestCell(t *testing.T) {
+	tab := sample()
+	if v, ok := tab.Cell("two", "B"); !ok || v != 8.0 {
+		t.Fatalf("Cell = %v, %v", v, ok)
+	}
+	if _, ok := tab.Cell("two", "Z"); ok {
+		t.Error("Cell found unknown column")
+	}
+	if _, ok := tab.Cell("zzz", "A"); ok {
+		t.Error("Cell found unknown row")
+	}
+}
+
+func TestColumn(t *testing.T) {
+	tab := sample()
+	col := tab.Column(1)
+	if len(col) != 2 || col[0] != 2.0 || col[1] != 8.0 {
+		t.Fatalf("Column = %v", col)
+	}
+}
+
+func TestNotesAndMissingCells(t *testing.T) {
+	tab := &Table{Columns: []string{"A", "B"}}
+	tab.Add("short", 1.0) // missing second cell
+	tab.AddNote("n=%d", 5)
+	s := tab.String()
+	if !strings.Contains(s, "note: n=5") {
+		t.Error("missing note")
+	}
+	if !strings.Contains(s, "-") {
+		t.Error("missing-cell placeholder absent")
+	}
+}
+
+func TestPrecision(t *testing.T) {
+	tab := &Table{Columns: []string{"A"}, Precision: 1}
+	tab.Add("r", 1.25)
+	if !strings.Contains(tab.String(), "1.2") {
+		t.Error("precision not applied")
+	}
+}
+
+func TestEmptyGeoMean(t *testing.T) {
+	tab := &Table{Columns: []string{"A"}}
+	tab.AddGeoMeanRow("G") // no rows: no-op
+	if len(tab.Rows) != 0 {
+		t.Error("geomean added to empty table")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tab := sample()
+	tab.AddNote("hello")
+	csv := tab.CSV()
+	want := "name,A,B\none,1.00,2.00\ntwo,4.00,8.00\n# hello\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tab := &Table{Columns: []string{`a,b`, `q"t`}}
+	tab.Add("r,1", 1, 2)
+	csv := tab.CSV()
+	if !strings.Contains(csv, `"a,b"`) || !strings.Contains(csv, `"q""t"`) || !strings.Contains(csv, `"r,1"`) {
+		t.Fatalf("CSV escaping wrong: %q", csv)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tab := sample()
+	tab.AddNote("n1")
+	md := tab.Markdown()
+	for _, want := range []string{"### Fig X", "| one | 1.00 | 2.00 |", "|---|---:|---:|", "- n1"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("Markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestMarkdownMissingCell(t *testing.T) {
+	tab := &Table{Columns: []string{"A", "B"}}
+	tab.Add("r", 1)
+	if !strings.Contains(tab.Markdown(), "| - |") {
+		t.Fatal("missing-cell placeholder absent in markdown")
+	}
+}

@@ -1,0 +1,105 @@
+package topo
+
+import "fmt"
+
+// Placement selects how pages are assigned to home GPMs.
+type Placement int
+
+const (
+	// FirstTouch places each page on the GPM of the first accessor, the
+	// policy the paper inherits from MCM-GPU and NUMA-aware multi-GPU
+	// work to maximize locality.
+	FirstTouch Placement = iota
+	// Static round-robins pages over all GPMs, a locality-oblivious
+	// baseline placement.
+	Static
+)
+
+// String implements fmt.Stringer.
+func (p Placement) String() string {
+	switch p {
+	case FirstTouch:
+		return "first-touch"
+	case Static:
+		return "static"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(p))
+	}
+}
+
+// PageMap tracks page-to-home-GPM assignments under a placement policy.
+// The GPM that owns a page holds its backing DRAM; the system home node
+// for every line of the page is that GPM.
+type PageMap struct {
+	topo      Topology
+	placement Placement
+	owner     map[Page]GPMID
+}
+
+// NewPageMap returns an empty PageMap for the given topology.
+func NewPageMap(t Topology, p Placement) *PageMap {
+	return &PageMap{topo: t, placement: p, owner: make(map[Page]GPMID)}
+}
+
+// Topology returns the topology this map was built for.
+func (m *PageMap) Topology() Topology { return m.topo }
+
+// Pages returns the number of pages that have been placed.
+func (m *PageMap) Pages() int { return len(m.owner) }
+
+// Touch resolves the owner GPM of the page containing addr, placing the
+// page on first access. accessor is the GPM performing the access and is
+// the owner under first-touch placement.
+func (m *PageMap) Touch(a Addr, accessor GPMID) GPMID {
+	p := m.topo.PageOf(a)
+	if o, ok := m.owner[p]; ok {
+		return o
+	}
+	var o GPMID
+	switch m.placement {
+	case FirstTouch:
+		o = accessor
+	case Static:
+		o = GPMID(uint64(p) % uint64(m.topo.TotalGPMs()))
+	default:
+		panic(fmt.Sprintf("topo: unknown placement %v", m.placement))
+	}
+	m.owner[p] = o
+	return o
+}
+
+// Owner returns the owner GPM of the page containing addr and whether the
+// page has been placed.
+func (m *PageMap) Owner(a Addr) (GPMID, bool) {
+	o, ok := m.owner[m.topo.PageOf(a)]
+	return o, ok
+}
+
+// SysHome returns the system home node for a line: the owner GPM of its
+// page. It panics if the page has not been placed; simulation datapaths
+// always Touch before routing.
+func (m *PageMap) SysHome(l Line) GPMID {
+	o, ok := m.owner[m.topo.PageOfLine(l)]
+	if !ok {
+		panic(fmt.Sprintf("topo: SysHome of unplaced line %#x", uint64(l)))
+	}
+	return o
+}
+
+// GPUHome returns the GPM that serves as GPU home node for line l within
+// GPU gpu, accounting for page ownership: inside the owner GPU the system
+// home node itself is the GPU home node, so cached copies and the
+// authoritative copy coincide.
+func (m *PageMap) GPUHome(gpu GPUID, l Line) GPMID {
+	sys := m.SysHome(l)
+	if m.topo.GPUOf(sys) == gpu {
+		return sys
+	}
+	return m.topo.GPUHome(gpu, l)
+}
+
+// OwnerGPU returns the GPU containing the system home node of line l.
+func (m *PageMap) OwnerGPU(l Line) GPUID { return m.topo.GPUOf(m.SysHome(l)) }
+
+// Reset forgets all placements.
+func (m *PageMap) Reset() { m.owner = make(map[Page]GPMID) }

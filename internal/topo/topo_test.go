@@ -1,0 +1,232 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func paperTopo() Topology {
+	return Topology{NumGPUs: 4, GPMsPerGPU: 4, SMsPerGPM: 32, LineSize: 128, PageSize: 2 << 20}
+}
+
+func TestValidate(t *testing.T) {
+	if err := paperTopo().Validate(); err != nil {
+		t.Fatalf("paper topology invalid: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Topology)
+	}{
+		{"zero GPUs", func(tp *Topology) { tp.NumGPUs = 0 }},
+		{"negative GPMs", func(tp *Topology) { tp.GPMsPerGPU = -1 }},
+		{"zero SMs", func(tp *Topology) { tp.SMsPerGPM = 0 }},
+		{"non-pow2 line", func(tp *Topology) { tp.LineSize = 96 }},
+		{"zero line", func(tp *Topology) { tp.LineSize = 0 }},
+		{"non-pow2 page", func(tp *Topology) { tp.PageSize = 3000 }},
+		{"page < line", func(tp *Topology) { tp.PageSize = 64 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tp := paperTopo()
+			c.mut(&tp)
+			if tp.Validate() == nil {
+				t.Errorf("Validate accepted %+v", tp)
+			}
+		})
+	}
+}
+
+func TestCounts(t *testing.T) {
+	tp := paperTopo()
+	if got := tp.TotalGPMs(); got != 16 {
+		t.Errorf("TotalGPMs = %d, want 16", got)
+	}
+	if got := tp.TotalSMs(); got != 512 {
+		t.Errorf("TotalSMs = %d, want 512 (Table II)", got)
+	}
+	if got := tp.LinesPerPage(); got != (2<<20)/128 {
+		t.Errorf("LinesPerPage = %d", got)
+	}
+}
+
+func TestIDComposition(t *testing.T) {
+	tp := paperTopo()
+	for gpu := GPUID(0); gpu < 4; gpu++ {
+		for local := 0; local < 4; local++ {
+			g := tp.GPM(gpu, local)
+			if tp.GPUOf(g) != gpu {
+				t.Fatalf("GPUOf(GPM(%d,%d)) = %d", gpu, local, tp.GPUOf(g))
+			}
+			if tp.LocalOf(g) != local {
+				t.Fatalf("LocalOf(GPM(%d,%d)) = %d", gpu, local, tp.LocalOf(g))
+			}
+			for s := 0; s < tp.SMsPerGPM; s++ {
+				sm := tp.SM(g, s)
+				if tp.GPMOfSM(sm) != g {
+					t.Fatalf("GPMOfSM(SM(%d,%d)) = %d, want %d", g, s, tp.GPMOfSM(sm), g)
+				}
+			}
+		}
+	}
+	if !tp.SameGPU(tp.GPM(2, 0), tp.GPM(2, 3)) {
+		t.Error("SameGPU false for modules of GPU 2")
+	}
+	if tp.SameGPU(tp.GPM(1, 3), tp.GPM(2, 0)) {
+		t.Error("SameGPU true across GPUs")
+	}
+}
+
+func TestAddressMath(t *testing.T) {
+	tp := paperTopo()
+	a := Addr(5*2<<20 + 777)
+	l := tp.LineOf(a)
+	if base := tp.LineAddr(l); base > a || a-base >= Addr(tp.LineSize) {
+		t.Errorf("LineAddr(LineOf(%d)) = %d", a, base)
+	}
+	if tp.PageOf(a) != 5 {
+		t.Errorf("PageOf = %d, want 5", tp.PageOf(a))
+	}
+	if tp.PageOfLine(l) != 5 {
+		t.Errorf("PageOfLine = %d, want 5", tp.PageOfLine(l))
+	}
+}
+
+// Property: line/page math is consistent for arbitrary addresses.
+func TestAddressMathProperty(t *testing.T) {
+	tp := paperTopo()
+	prop := func(a uint64) bool {
+		addr := Addr(a % (1 << 40))
+		l := tp.LineOf(addr)
+		return tp.PageOf(addr) == tp.PageOfLine(l) &&
+			tp.LineOf(tp.LineAddr(l)) == l
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGPUHomeLocalStableAndSpread(t *testing.T) {
+	tp := paperTopo()
+	counts := make([]int, tp.GPMsPerGPU)
+	for l := Line(0); l < 4096; l++ {
+		h := tp.GPUHomeLocal(l)
+		if h < 0 || h >= tp.GPMsPerGPU {
+			t.Fatalf("GPUHomeLocal out of range: %d", h)
+		}
+		if tp.GPUHomeLocal(l) != h {
+			t.Fatalf("GPUHomeLocal not stable for line %d", l)
+		}
+		counts[h]++
+	}
+	for i, c := range counts {
+		if c < 4096/tp.GPMsPerGPU/2 {
+			t.Errorf("home slot %d badly underloaded: %d of 4096", i, c)
+		}
+	}
+	// Same hash in every GPU: GPUHome differs only by GPU offset.
+	for l := Line(0); l < 64; l++ {
+		for gpu := GPUID(0); gpu < 4; gpu++ {
+			want := tp.GPM(gpu, tp.GPUHomeLocal(l))
+			if got := tp.GPUHome(gpu, l); got != want {
+				t.Fatalf("GPUHome(%d, %d) = %d, want %d", gpu, l, got, want)
+			}
+		}
+	}
+}
+
+func TestPageMapFirstTouch(t *testing.T) {
+	tp := paperTopo()
+	m := NewPageMap(tp, FirstTouch)
+	a := Addr(123456)
+	o := m.Touch(a, 7)
+	if o != 7 {
+		t.Fatalf("first touch owner = %d, want 7", o)
+	}
+	// Subsequent touches by others do not move the page.
+	if o := m.Touch(a+64, 3); o != 7 {
+		t.Fatalf("second touch moved page to %d", o)
+	}
+	if got, ok := m.Owner(a); !ok || got != 7 {
+		t.Fatalf("Owner = %d,%v", got, ok)
+	}
+	if m.Pages() != 1 {
+		t.Fatalf("Pages = %d, want 1", m.Pages())
+	}
+	if m.SysHome(tp.LineOf(a)) != 7 {
+		t.Fatalf("SysHome = %d, want 7", m.SysHome(tp.LineOf(a)))
+	}
+}
+
+func TestPageMapStatic(t *testing.T) {
+	tp := paperTopo()
+	m := NewPageMap(tp, Static)
+	seen := map[GPMID]bool{}
+	for p := 0; p < 64; p++ {
+		a := Addr(p * tp.PageSize)
+		o := m.Touch(a, 0)
+		if o != GPMID(p%tp.TotalGPMs()) {
+			t.Fatalf("static owner of page %d = %d", p, o)
+		}
+		seen[o] = true
+	}
+	if len(seen) != tp.TotalGPMs() {
+		t.Fatalf("static placement used %d GPMs, want %d", len(seen), tp.TotalGPMs())
+	}
+}
+
+func TestPageMapGPUHome(t *testing.T) {
+	tp := paperTopo()
+	m := NewPageMap(tp, FirstTouch)
+	a := Addr(0)
+	owner := tp.GPM(1, 2)
+	m.Touch(a, owner)
+	l := tp.LineOf(a)
+	// Inside the owner GPU, the GPU home node is the system home itself.
+	if got := m.GPUHome(1, l); got != owner {
+		t.Fatalf("owner-GPU home = %d, want %d", got, owner)
+	}
+	// In other GPUs it is the hashed slot.
+	for _, gpu := range []GPUID{0, 2, 3} {
+		want := tp.GPUHome(gpu, l)
+		if got := m.GPUHome(gpu, l); got != want {
+			t.Fatalf("GPUHome(%d) = %d, want %d", gpu, got, want)
+		}
+		if tp.GPUOf(m.GPUHome(gpu, l)) != gpu {
+			t.Fatalf("GPU home not inside GPU %d", gpu)
+		}
+	}
+	if m.OwnerGPU(l) != 1 {
+		t.Fatalf("OwnerGPU = %d, want 1", m.OwnerGPU(l))
+	}
+}
+
+func TestSysHomeUnplacedPanics(t *testing.T) {
+	m := NewPageMap(paperTopo(), FirstTouch)
+	defer func() {
+		if recover() == nil {
+			t.Error("SysHome of unplaced line did not panic")
+		}
+	}()
+	m.SysHome(42)
+}
+
+func TestPageMapReset(t *testing.T) {
+	m := NewPageMap(paperTopo(), FirstTouch)
+	m.Touch(0, 3)
+	m.Reset()
+	if m.Pages() != 0 {
+		t.Fatalf("Pages after Reset = %d", m.Pages())
+	}
+	if o := m.Touch(0, 9); o != 9 {
+		t.Fatalf("owner after Reset = %d, want 9", o)
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	if FirstTouch.String() != "first-touch" || Static.String() != "static" {
+		t.Error("Placement.String wrong")
+	}
+	if Placement(99).String() == "" {
+		t.Error("unknown placement produced empty string")
+	}
+}

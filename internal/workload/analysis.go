@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"hmg/internal/topo"
+	"hmg/internal/trace"
+)
+
+// InterGPURedundancy computes the paper's Fig. 3 metric for a trace: the
+// fraction of inter-GPU loads destined to lines that are also accessed
+// by another GPM of the same GPU — the locality a hierarchical protocol
+// can coalesce at the GPU home node. Placement hints determine line
+// ownership; unplaced pages fall back to first-touch by trace order.
+func InterGPURedundancy(tr *trace.Trace, t topo.Topology) float64 {
+	owner := make(map[topo.Page]topo.GPMID)
+	for _, h := range tr.Placement {
+		owner[h.Page] = h.GPM
+	}
+	// accessedBy[line] is a bitmask of the GPMs that touch it.
+	accessedBy := make(map[topo.Line]uint32)
+	forEachOp(tr, t, func(gpm topo.GPMID, op trace.Op) {
+		page := t.PageOf(op.Addr)
+		if _, ok := owner[page]; !ok {
+			owner[page] = gpm // first touch
+		}
+		accessedBy[t.LineOf(op.Addr)] |= 1 << uint(gpm)
+	})
+	var interGPULoads, redundant uint64
+	forEachOp(tr, t, func(gpm topo.GPMID, op trace.Op) {
+		if !op.Kind.IsLoad() {
+			return
+		}
+		line := t.LineOf(op.Addr)
+		if t.GPUOf(owner[t.PageOf(op.Addr)]) == t.GPUOf(gpm) {
+			return
+		}
+		interGPULoads++
+		gpu := t.GPUOf(gpm)
+		mask := accessedBy[line]
+		for local := 0; local < t.GPMsPerGPU; local++ {
+			sibling := t.GPM(gpu, local)
+			if sibling != gpm && mask&(1<<uint(sibling)) != 0 {
+				redundant++
+				break
+			}
+		}
+	})
+	if interGPULoads == 0 {
+		return 0
+	}
+	return float64(redundant) / float64(interGPULoads)
+}
+
+// forEachOp visits every op with the GPM its CTA is scheduled on.
+func forEachOp(tr *trace.Trace, t topo.Topology, fn func(topo.GPMID, trace.Op)) {
+	for ki := range tr.Kernels {
+		n := len(tr.Kernels[ki].CTAs)
+		for ci := range tr.Kernels[ki].CTAs {
+			gpm := trace.AssignCTA(ci, n, t.TotalGPMs())
+			for wi := range tr.Kernels[ki].CTAs[ci].Warps {
+				for _, op := range tr.Kernels[ki].CTAs[ci].Warps[wi].Ops {
+					fn(gpm, op)
+				}
+			}
+		}
+	}
+}
+
+// Stats summarizes a generated trace for documentation and tests.
+type Stats struct {
+	Ops, Loads, Stores, Atomics int
+	Syncs                       int
+	FootprintBytes              int64
+	Kernels                     int
+}
+
+// Summarize computes trace statistics.
+func Summarize(tr *trace.Trace, t topo.Topology) Stats {
+	st := Stats{FootprintBytes: tr.FootprintBytes, Kernels: len(tr.Kernels)}
+	forEachOp(tr, t, func(_ topo.GPMID, op trace.Op) {
+		st.Ops++
+		switch op.Kind {
+		case trace.Load:
+			st.Loads++
+		case trace.Store:
+			st.Stores++
+		case trace.Atomic:
+			st.Atomics++
+			st.Syncs++
+		case trace.LoadAcq, trace.StoreRel:
+			st.Syncs++
+		}
+	})
+	return st
+}

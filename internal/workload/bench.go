@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"hmg/internal/trace"
+)
+
+// The twenty Table III benchmarks. Footprints are the paper's, scaled
+// ~64× down to match scaled trace lengths; sharing/synchronization
+// parameters are set from each workload's published characteristics and
+// the paper's own profiles (Fig. 3 intra-GPU redundancy, Fig. 9/10
+// invalidation behaviour, the Fig. 8 grouping into bulk-synchronous
+// workloads on the left and fine-grained-sharing workloads on the
+// right).
+//
+// Presentation order matches the paper's figures.
+var suite = []Params{
+	{
+		Name: "HPC MiniAMR-test2", Abbrev: "MiniAMR", TableIIIFootprint: "1.80 GB",
+		FootprintMB: 28, Kernels: 4, CTAsPerGPM: 8, WarpsPerCTA: 2, OpsPerWarp: 150,
+		ReadFrac: 0.70, SharedFrac: 0.15, Redundancy: 0.97, RWShared: 0.03,
+		InKernelReuse: 4, CrossKernelReuse: 0.85, GapMean: 3, Seed: 101,
+	},
+	{
+		Name: "ML overfeat layer1", Abbrev: "overfeat", TableIIIFootprint: "618 MB",
+		FootprintMB: 10, Kernels: 2, CTAsPerGPM: 8, WarpsPerCTA: 2, OpsPerWarp: 150,
+		ReadFrac: 0.75, SharedFrac: 0.12, Redundancy: 0.95, RWShared: 0.02,
+		InKernelReuse: 3, CrossKernelReuse: 0.70, GapMean: 2, Seed: 102,
+	},
+	{
+		Name: "ML AlexNet conv2", Abbrev: "AlexNet", TableIIIFootprint: "812 MB",
+		FootprintMB: 13, Kernels: 3, CTAsPerGPM: 8, WarpsPerCTA: 2, OpsPerWarp: 150,
+		ReadFrac: 0.75, SharedFrac: 0.25, Redundancy: 0.90, RWShared: 0.02,
+		InKernelReuse: 4, CrossKernelReuse: 0.80, GapMean: 4, Seed: 103,
+	},
+	{
+		Name: "HPC CoMD-xyz49", Abbrev: "CoMD", TableIIIFootprint: "313 MB",
+		FootprintMB: 5, Kernels: 4, CTAsPerGPM: 8, WarpsPerCTA: 2, OpsPerWarp: 150,
+		ReadFrac: 0.70, SharedFrac: 0.18, Redundancy: 0.55, RWShared: 0.05,
+		InKernelReuse: 3, CrossKernelReuse: 0.70, GapMean: 3, Seed: 104,
+	},
+	{
+		Name: "HPC HPGMG", Abbrev: "HPGMG", TableIIIFootprint: "1.32 GB",
+		FootprintMB: 21, Kernels: 6, CTAsPerGPM: 8, WarpsPerCTA: 2, OpsPerWarp: 150,
+		ReadFrac: 0.72, SharedFrac: 0.28, Redundancy: 0.80, RWShared: 0.05,
+		InKernelReuse: 3, CrossKernelReuse: 0.75, GapMean: 4, Seed: 105,
+	},
+	{
+		Name: "HPC MiniContact", Abbrev: "MiniContact", TableIIIFootprint: "246 MB",
+		FootprintMB: 4, Kernels: 4, CTAsPerGPM: 8, WarpsPerCTA: 2, OpsPerWarp: 150,
+		ReadFrac: 0.70, SharedFrac: 0.30, Redundancy: 0.65, RWShared: 0.08,
+		InKernelReuse: 4, CrossKernelReuse: 0.70, GapMean: 4, Seed: 106,
+	},
+	{
+		Name: "Rodinia pathfinder", Abbrev: "pathfinder", TableIIIFootprint: "1.49 GB",
+		FootprintMB: 23, Kernels: 6, CTAsPerGPM: 8, WarpsPerCTA: 2, OpsPerWarp: 150,
+		ReadFrac: 0.80, SharedFrac: 0.12, Redundancy: 0.75, RWShared: 0.02,
+		InKernelReuse: 2, CrossKernelReuse: 0.75, GapMean: 2, Seed: 107,
+	},
+	{
+		Name: "HPC Nekbone-10", Abbrev: "Nekbone", TableIIIFootprint: "178 MB",
+		FootprintMB: 3, Kernels: 4, CTAsPerGPM: 8, WarpsPerCTA: 2, OpsPerWarp: 150,
+		ReadFrac: 0.75, SharedFrac: 0.22, Redundancy: 0.85, RWShared: 0.04,
+		InKernelReuse: 4, CrossKernelReuse: 0.75, GapMean: 3, Seed: 108,
+	},
+	{
+		Name: "HPC namd2.10", Abbrev: "namd2.10", TableIIIFootprint: "72 MB",
+		FootprintMB: 2, Kernels: 2, CTAsPerGPM: 8, WarpsPerCTA: 2, OpsPerWarp: 150,
+		ReadFrac: 0.70, SharedFrac: 0.18, Redundancy: 0.45, RWShared: 0.06,
+		InKernelReuse: 4, CrossKernelReuse: 0.65, SyncScope: trace.ScopeGPU, SyncEvery: 80, AtomicFrac: 0.3,
+		GapMean: 3, Seed: 109,
+	},
+	{
+		Name: "cuSolver", Abbrev: "cuSolver", TableIIIFootprint: "1.60 GB",
+		FootprintMB: 25, Kernels: 4, CTAsPerGPM: 8, WarpsPerCTA: 2, OpsPerWarp: 150,
+		ReadFrac: 0.72, SharedFrac: 0.25, Redundancy: 0.70, RWShared: 0.05,
+		InKernelReuse: 3, CrossKernelReuse: 0.60, SyncScope: trace.ScopeGPU, SyncEvery: 100, AtomicFrac: 0.2,
+		GapMean: 4, Seed: 110,
+	},
+	{
+		Name: "ML resnet", Abbrev: "resnet", TableIIIFootprint: "3.20 GB",
+		FootprintMB: 48, Kernels: 8, CTAsPerGPM: 8, WarpsPerCTA: 2, OpsPerWarp: 150,
+		ReadFrac: 0.75, SharedFrac: 0.50, Redundancy: 0.88, RWShared: 0.04,
+		InKernelReuse: 2, CrossKernelReuse: 0.70, GapMean: 2, Seed: 111,
+	},
+	{
+		Name: "Lonestar mst-road-fla", Abbrev: "mst", TableIIIFootprint: "83 MB",
+		FootprintMB: 1.5, Kernels: 10, CTAsPerGPM: 8, WarpsPerCTA: 2, OpsPerWarp: 150,
+		ReadFrac: 0.60, SharedFrac: 0.45, Redundancy: 0.55, RWShared: 0.30,
+		InKernelReuse: 2, CrossKernelReuse: 0.60, SyncScope: trace.ScopeGPU, SyncEvery: 40, AtomicFrac: 0.5,
+		FalseSharing: true, GapMean: 4, Seed: 112,
+	},
+	{
+		Name: "Rodinia nw-16K-10", Abbrev: "nw-16K", TableIIIFootprint: "2.00 GB",
+		FootprintMB: 31, Kernels: 20, CTAsPerGPM: 8, WarpsPerCTA: 2, OpsPerWarp: 120,
+		ReadFrac: 0.70, SharedFrac: 0.70, Redundancy: 0.75, RWShared: 0.10,
+		InKernelReuse: 2, CrossKernelReuse: 0.90, GapMean: 3, Seed: 113,
+	},
+	{
+		Name: "ML lstm layer2", Abbrev: "lstm", TableIIIFootprint: "710 MB",
+		FootprintMB: 11, Kernels: 16, CTAsPerGPM: 8, WarpsPerCTA: 2, OpsPerWarp: 120,
+		ReadFrac: 0.72, SharedFrac: 0.60, Redundancy: 0.85, RWShared: 0.08,
+		InKernelReuse: 2, CrossKernelReuse: 0.85, GapMean: 3, Seed: 114,
+	},
+	{
+		Name: "ML RNN layer4 FW", Abbrev: "RNN_FW", TableIIIFootprint: "40 MB",
+		FootprintMB: 1, Kernels: 16, CTAsPerGPM: 8, WarpsPerCTA: 2, OpsPerWarp: 120,
+		ReadFrac: 0.75, SharedFrac: 0.65, Redundancy: 0.88, RWShared: 0.05,
+		InKernelReuse: 2, CrossKernelReuse: 0.90, GapMean: 3, Seed: 115,
+	},
+	{
+		Name: "ML RNN layer4 DGRAD", Abbrev: "RNN_DGRAD", TableIIIFootprint: "29 MB",
+		FootprintMB: 1, Kernels: 12, CTAsPerGPM: 8, WarpsPerCTA: 2, OpsPerWarp: 120,
+		ReadFrac: 0.78, SharedFrac: 0.70, Redundancy: 0.85, RWShared: 0.02,
+		InKernelReuse: 10, CrossKernelReuse: 0.90, GapMean: 3, Seed: 116,
+	},
+	{
+		Name: "ML GoogLeNet conv2", Abbrev: "GoogLeNet", TableIIIFootprint: "1.15 GB",
+		FootprintMB: 18, Kernels: 12, CTAsPerGPM: 8, WarpsPerCTA: 2, OpsPerWarp: 120,
+		ReadFrac: 0.75, SharedFrac: 0.55, Redundancy: 0.82, RWShared: 0.05,
+		InKernelReuse: 2, CrossKernelReuse: 0.80, GapMean: 2, Seed: 117,
+	},
+	{
+		Name: "Lonestar bfs-road-fla", Abbrev: "bfs", TableIIIFootprint: "26 MB",
+		FootprintMB: 1, Kernels: 16, CTAsPerGPM: 8, WarpsPerCTA: 2, OpsPerWarp: 120,
+		ReadFrac: 0.65, SharedFrac: 0.40, Redundancy: 0.60, RWShared: 0.20,
+		InKernelReuse: 2, CrossKernelReuse: 0.70, FalseSharing: true, GapMean: 4, Seed: 118,
+	},
+	{
+		Name: "HPC snap", Abbrev: "snap", TableIIIFootprint: "3.44 GB",
+		FootprintMB: 48, Kernels: 8, CTAsPerGPM: 8, WarpsPerCTA: 2, OpsPerWarp: 120,
+		ReadFrac: 0.72, SharedFrac: 0.55, Redundancy: 0.78, RWShared: 0.06,
+		InKernelReuse: 2, CrossKernelReuse: 0.75, GapMean: 2, Seed: 119,
+	},
+	{
+		Name: "ML RNN layer4 WGRAD", Abbrev: "RNN_WGRAD", TableIIIFootprint: "38 MB",
+		FootprintMB: 1, Kernels: 24, CTAsPerGPM: 8, WarpsPerCTA: 2, OpsPerWarp: 100,
+		ReadFrac: 0.75, SharedFrac: 0.75, Redundancy: 0.92, RWShared: 0.04,
+		InKernelReuse: 1, CrossKernelReuse: 1.00, GapMean: 2, Seed: 120,
+	},
+}
+
+// Suite returns the Table III benchmark parameter sets in the paper's
+// figure order.
+func Suite() []Params {
+	out := make([]Params, len(suite))
+	copy(out, suite)
+	return out
+}
+
+// Names returns the benchmark abbreviations in figure order.
+func Names() []string {
+	var out []string
+	for _, p := range suite {
+		out = append(out, p.Abbrev)
+	}
+	return out
+}
+
+// Get returns a benchmark's parameters by abbreviation.
+func Get(abbrev string) (Params, error) {
+	for _, p := range suite {
+		if p.Abbrev == abbrev {
+			return p, nil
+		}
+	}
+	var known []string
+	for _, p := range suite {
+		known = append(known, p.Abbrev)
+	}
+	sort.Strings(known)
+	return Params{}, fmt.Errorf("workload: unknown benchmark %q (known: %v)", abbrev, known)
+}

@@ -1,0 +1,29 @@
+package hmg
+
+import (
+	"hmg/internal/consist"
+	"hmg/internal/gsim"
+)
+
+// LitmusThread is one thread of a litmus program, pinned to a CTA slot
+// (slot i runs on GPM i when Slots equals the GPM count).
+type LitmusThread = consist.Thread
+
+// LitmusProgram is a small multi-threaded program for probing the
+// scoped memory model.
+type LitmusProgram = consist.Program
+
+// LitmusObservation records one load's observed value.
+type LitmusObservation = consist.Observation
+
+// RunLitmus executes a litmus program on a functional (value-tracking)
+// system under the given configuration and returns every load's
+// observation plus the run results.
+func RunLitmus(cfg Config, prog LitmusProgram) ([]LitmusObservation, *Results, error) {
+	return consist.Run(gsim.Config(cfg), prog)
+}
+
+// LitmusValue extracts the value thread ti's op oi observed.
+func LitmusValue(obs []LitmusObservation, ti, oi int) (uint64, bool) {
+	return consist.Value(obs, ti, oi)
+}
