@@ -17,7 +17,11 @@ import (
 const benchScale = 0.25
 
 func benchRunner() *experiments.Runner {
-	return experiments.NewRunner(experiments.Options{Scale: benchScale, SMsPerGPM: 8})
+	r, err := experiments.NewRunner(experiments.Options{Scale: benchScale, SMsPerGPM: 8})
+	if err != nil {
+		panic(err)
+	}
+	return r
 }
 
 func runFig(b *testing.B, fig func(*experiments.Runner) (*report.Table, error)) {

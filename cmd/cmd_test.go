@@ -4,11 +4,14 @@
 package cmd_test
 
 import (
+	"bytes"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"hmg/internal/experiments"
 )
 
 // build compiles one tool into a temp dir and returns the binary path.
@@ -95,5 +98,66 @@ func TestHmgbenchSingleFigure(t *testing.T) {
 	}
 	if _, err := exec.Command(bin, "-fig", "nosuch").CombinedOutput(); err == nil {
 		t.Fatal("hmgbench accepted unknown figure")
+	}
+}
+
+// TestHmgbenchFigureRegistrySync pins hmgbench's user-facing figure
+// lists to the experiments.Figures registry: the unknown-figure error
+// (which prints the known set), the -fig flag usage, and the package
+// doc comment must all name exactly the registry's figures.
+func TestHmgbenchFigureRegistrySync(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI build in -short mode")
+	}
+	names := experiments.FigureNames()
+	if len(names) != 21 {
+		t.Fatalf("registry has %d figures, want 21", len(names))
+	}
+
+	bin := build(t, "cmd/hmgbench")
+	out, err := exec.Command(bin, "-fig", "nosuch").CombinedOutput()
+	if err == nil {
+		t.Fatal("hmgbench accepted unknown figure")
+	}
+	_, known, ok := strings.Cut(string(out), "known: ")
+	if !ok {
+		t.Fatalf("unknown-figure error does not list known figures:\n%s", out)
+	}
+	got := strings.Split(strings.TrimSuffix(strings.TrimSpace(known), ")"), ",")
+	want := append(append([]string{}, names...), "all")
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("known-figure list out of sync with registry:\n got %v\nwant %v", got, want)
+	}
+
+	usage, _ := exec.Command(bin, "-help").CombinedOutput()
+	src, err := os.ReadFile(filepath.Join("hmgbench", "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _, ok := strings.Cut(string(src), "package main")
+	if !ok {
+		t.Fatal("no package clause in hmgbench/main.go")
+	}
+	for _, n := range names {
+		if !strings.Contains(string(usage), n) {
+			t.Errorf("-fig flag usage does not mention figure %q", n)
+		}
+		if !strings.Contains(doc, n+",") && !strings.Contains(doc, n+".") {
+			t.Errorf("hmgbench doc comment does not list figure %q", n)
+		}
+	}
+}
+
+// TestHmgbenchJobsDeterminism: parallel prewarming must not change the
+// tables — -jobs 8 output is byte-identical to -jobs 1.
+func TestHmgbenchJobsDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI build in -short mode")
+	}
+	bin := build(t, "cmd/hmgbench")
+	serial := run(t, bin, "-fig", "9", "-scale", "0.1", "-sms", "4", "-jobs", "1")
+	parallel := run(t, bin, "-fig", "9", "-scale", "0.1", "-sms", "4", "-jobs", "8")
+	if !bytes.Equal([]byte(serial), []byte(parallel)) {
+		t.Fatalf("-jobs 8 output differs from -jobs 1:\n--- jobs=1\n%s\n--- jobs=8\n%s", serial, parallel)
 	}
 }

@@ -6,74 +6,80 @@
 //	hmgbench -fig 8                 # one figure
 //	hmgbench -fig all               # everything (the EXPERIMENTS.md run)
 //	hmgbench -fig 12 -scale 0.5 -v  # faster sweep with progress output
+//	hmgbench -fig all -jobs 8       # prewarm runs on 8 parallel workers
 //
-// Figures: 2, 3, 7, 8, 9, 10, 11, 12, 13, 14, granularity, tableII,
+// Figures: 2, 3, 7, 8, 9, 10, 11, 12, 13, 14, granularity, downgrade,
+// writeback, gpmscope, scaling, carve, locality, mca, tableII,
 // tableIII, cost.
+//
+// The figure set is defined by the experiments.Figures registry; every
+// simulation is memoized by (benchmark, protocol, variant), so -jobs
+// only changes wall-clock time — table output is byte-identical at any
+// parallelism.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"hmg/internal/experiments"
-	"hmg/internal/report"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (2,3,7,8,9,10,11,12,13,14,granularity,downgrade,writeback,gpmscope,scaling,carve,locality,mca,tableII,tableIII,cost,all)")
+	names := strings.Join(experiments.FigureNames(), ",")
+	fig := flag.String("fig", "all", "figure to regenerate ("+names+",all)")
 	scale := flag.Float64("scale", 1.0, "workload scale in (0,1]")
 	sms := flag.Int("sms", 8, "modeled SMs per GPM")
-	verbose := flag.Bool("v", false, "log each simulation run")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers for the campaign prewarm")
+	verbose := flag.Bool("v", false, "log each simulation run and the campaign summary")
 	format := flag.String("format", "text", "output format: text, csv, or md")
 	flag.Parse()
 
 	opts := experiments.DefaultOptions()
 	opts.Scale = *scale
 	opts.SMsPerGPM = *sms
+	opts.Jobs = *jobs
 	if *verbose {
 		opts.Log = os.Stderr
 	}
-	r := experiments.NewRunner(opts)
+	r, err := experiments.NewRunner(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hmgbench: %v\n", err)
+		os.Exit(2)
+	}
 
-	type gen struct {
-		name string
-		run  func(*experiments.Runner) (*report.Table, error)
-	}
-	gens := []gen{
-		{"tableII", func(r *experiments.Runner) (*report.Table, error) { return experiments.TableII(r), nil }},
-		{"tableIII", func(r *experiments.Runner) (*report.Table, error) { return experiments.TableIII(r), nil }},
-		{"cost", func(r *experiments.Runner) (*report.Table, error) { return experiments.HardwareCost(r), nil }},
-		{"3", experiments.Fig3},
-		{"7", experiments.Fig7},
-		{"2", experiments.Fig2},
-		{"8", experiments.Fig8},
-		{"9", experiments.Fig9},
-		{"10", experiments.Fig10},
-		{"11", experiments.Fig11},
-		{"12", experiments.Fig12},
-		{"13", experiments.Fig13},
-		{"14", experiments.Fig14},
-		{"granularity", experiments.Granularity},
-		{"downgrade", experiments.DowngradeAblation},
-		{"writeback", experiments.WriteBackAblation},
-		{"gpmscope", experiments.GPMScopeStudy},
-		{"scaling", experiments.ScalingStudy},
-		{"carve", experiments.RelatedProtocols},
-		{"locality", experiments.LocalityAblation},
-		{"mca", experiments.MCAStudy},
-	}
 	want := strings.ToLower(*fig)
-	ran := false
-	for _, g := range gens {
-		if want != "all" && want != strings.ToLower(g.name) {
-			continue
+	var selected []experiments.Figure
+	for _, f := range experiments.Figures() {
+		if want == "all" || want == strings.ToLower(f.Name) {
+			selected = append(selected, f)
 		}
-		ran = true
-		t, err := g.run(r)
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "hmgbench: unknown figure %q (known: %s,all)\n", *fig, names)
+		os.Exit(2)
+	}
+
+	// Prewarm the union of the selected figures' runs across the worker
+	// pool; generation below then reads the warm cache in order.
+	var plan []experiments.RunSpec
+	for _, f := range selected {
+		if f.Plan != nil {
+			plan = append(plan, f.Plan()...)
+		}
+	}
+	if err := r.Prewarm(plan); err != nil {
+		fmt.Fprintf(os.Stderr, "hmgbench: prewarm: %v\n", err)
+		os.Exit(1)
+	}
+
+	for _, f := range selected {
+		t, err := f.Gen(r)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "hmgbench: figure %s: %v\n", g.name, err)
+			fmt.Fprintf(os.Stderr, "hmgbench: figure %s: %v\n", f.Name, err)
 			os.Exit(1)
 		}
 		switch *format {
@@ -85,8 +91,13 @@ func main() {
 			fmt.Println(t.String())
 		}
 	}
-	if !ran {
-		fmt.Fprintf(os.Stderr, "hmgbench: unknown figure %q\n", *fig)
-		os.Exit(2)
+	if *verbose {
+		s := r.Summary()
+		mevps := 0.0
+		if s.RunWall > 0 {
+			mevps = float64(s.Events) / s.RunWall.Seconds() / 1e6
+		}
+		fmt.Fprintf(os.Stderr, "campaign: %d unique runs, %d memo hits, %.1f Mcycles simulated, %.1f M events/s of run wall (%.1fs summed)\n",
+			s.UniqueRuns, s.MemoHits, float64(s.SimCycles)/1e6, mevps, s.RunWall.Seconds())
 	}
 }

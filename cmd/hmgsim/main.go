@@ -37,7 +37,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	r := experiments.NewRunner(experiments.Options{SMsPerGPM: *sms, Scale: *scale})
+	r, err := experiments.NewRunner(experiments.Options{SMsPerGPM: *sms, Scale: *scale})
+	if err != nil {
+		fatal(err)
+	}
 	cfg := r.Config(kind, experiments.Variant{})
 
 	var tr *hmg.Trace

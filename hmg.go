@@ -136,9 +136,17 @@ func HardwareCost(cfg Config) HardwareCostReport {
 // Speedup runs a benchmark under a protocol and under the no-caching
 // baseline on fresh systems, returning baselineCycles / protocolCycles —
 // the normalized speedup every figure of the paper reports.
+//
+// The baseline is canonicalized to the Table II defaults (the paper's
+// normalization point): only the machine shape and clock carry over
+// from cfg, while variant knobs such as WriteBack, ScatterCTAs,
+// Policy.Downgrade, and swept capacities reset to their defaults — a
+// write-back experiment is still normalized against the write-through
+// no-caching baseline, exactly as the experiment harness does.
 func Speedup(name string, cfg Config, scale float64) (float64, error) {
-	base := cfg
-	base.Policy = proto.For(proto.NoRemoteCache)
+	base := gsim.DefaultConfig(cfg.Topo.SMsPerGPM, proto.NoRemoteCache)
+	base.Topo = cfg.Topo
+	base.FrequencyHz = cfg.FrequencyHz
 	baseSys, err := NewSystem(base)
 	if err != nil {
 		return 0, err

@@ -123,6 +123,54 @@ func TestSpeedupAPI(t *testing.T) {
 	}
 }
 
+// TestSpeedupBaselineCanonical guards the normalization of Speedup: the
+// no-remote-caching baseline runs at the Table II defaults even when the
+// measured configuration carries variant options. Before the fix the
+// baseline inherited the caller's config, so fields like WriteBack and
+// ScatterCTAs leaked into the baseline run and skewed the reported
+// speedup.
+func TestSpeedupBaselineCanonical(t *testing.T) {
+	const bench = "mst" // store-heavy: write-back measurably shifts its cycle count
+	const scale = 0.1
+
+	runCycles := func(cfg Config) float64 {
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := GenerateBenchmark(bench, cfg, scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.Cycles)
+	}
+
+	cfg := DefaultConfig(ProtocolHMG)
+	cfg.WriteBack = true
+	baseCycles := runCycles(DefaultConfig(ProtocolNoRemoteCaching))
+	want := baseCycles / runCycles(cfg)
+
+	got, err := Speedup(bench, cfg, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("Speedup = %v, want %v (canonical write-through baseline)", got, want)
+	}
+
+	// The leak this guards against is observable: a baseline that
+	// inherits the write-back option simulates a different machine.
+	leaked := DefaultConfig(ProtocolNoRemoteCaching)
+	leaked.WriteBack = true
+	if leakCycles := runCycles(leaked); leakCycles == baseCycles {
+		t.Fatalf("write-back no longer affects the baseline (%v cycles); pick a benchmark where the old leak was observable", leakCycles)
+	}
+}
+
 func TestPublicLitmus(t *testing.T) {
 	cfg := DefaultConfig(ProtocolHMG)
 	prog := LitmusProgram{

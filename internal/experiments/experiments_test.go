@@ -11,7 +11,11 @@ import (
 
 // testRunner returns a Runner at a small scale for fast tests.
 func testRunner() *Runner {
-	return NewRunner(Options{Scale: 0.1, SMsPerGPM: 4})
+	r, err := NewRunner(Options{Scale: 0.1, SMsPerGPM: 4})
+	if err != nil {
+		panic(err)
+	}
+	return r
 }
 
 func TestOptionsDefaults(t *testing.T) {

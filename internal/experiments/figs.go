@@ -176,49 +176,73 @@ func sweep(r *Runner, title string, points []Variant, labels []string) (*report.
 	return t, nil
 }
 
-// Fig12 reproduces the inter-GPU bandwidth sensitivity sweep.
-func Fig12(r *Runner) (*report.Table, error) {
+// fig12Points are the inter-GPU bandwidth sweep points.
+func fig12Points() ([]Variant, []string) {
 	var points []Variant
 	var labels []string
 	for _, bw := range []float64{100, 200, 300, 400} {
 		points = append(points, Variant{NVLinkGBs: bw})
 		labels = append(labels, fmt.Sprintf("%.0fGB/s", bw))
 	}
+	return points, labels
+}
+
+// Fig12 reproduces the inter-GPU bandwidth sensitivity sweep.
+func Fig12(r *Runner) (*report.Table, error) {
+	points, labels := fig12Points()
 	return sweep(r, "Fig. 12: sensitivity to inter-GPU bandwidth", points, labels)
 }
 
-// Fig13 reproduces the L2 capacity sensitivity sweep.
-func Fig13(r *Runner) (*report.Table, error) {
+// fig13Points are the L2 capacity sweep points.
+func fig13Points() ([]Variant, []string) {
 	var points []Variant
 	var labels []string
 	for _, mb := range []int{6, 12, 24} {
 		points = append(points, Variant{L2MBPerGPU: mb})
 		labels = append(labels, fmt.Sprintf("%dMB/GPU", mb))
 	}
+	return points, labels
+}
+
+// Fig13 reproduces the L2 capacity sensitivity sweep.
+func Fig13(r *Runner) (*report.Table, error) {
+	points, labels := fig13Points()
 	return sweep(r, "Fig. 13: sensitivity to L2 cache size", points, labels)
 }
 
-// Fig14 reproduces the directory size sensitivity sweep.
-func Fig14(r *Runner) (*report.Table, error) {
+// fig14Points are the directory size sweep points.
+func fig14Points() ([]Variant, []string) {
 	var points []Variant
 	var labels []string
 	for _, k := range []int{3, 6, 12} {
 		points = append(points, Variant{DirEntries: k * 1024})
 		labels = append(labels, fmt.Sprintf("%dK entries/GPM", k))
 	}
+	return points, labels
+}
+
+// Fig14 reproduces the directory size sensitivity sweep.
+func Fig14(r *Runner) (*report.Table, error) {
+	points, labels := fig14Points()
 	return sweep(r, "Fig. 14: sensitivity to coherence directory size", points, labels)
 }
 
-// Granularity reproduces the §VII-B (unpictured) study: directory entry
-// granularity varied at constant coverage — entries × granularity held
-// at the Table II 48K lines per GPM.
-func Granularity(r *Runner) (*report.Table, error) {
+// granularityPoints are the §VII-B constant-coverage sweep points.
+func granularityPoints() ([]Variant, []string) {
 	var points []Variant
 	var labels []string
 	for _, g := range []int{1, 2, 4, 8} {
 		points = append(points, Variant{GranLines: g, DirEntries: 48 * 1024 / g})
 		labels = append(labels, fmt.Sprintf("%d lines/entry", g))
 	}
+	return points, labels
+}
+
+// Granularity reproduces the §VII-B (unpictured) study: directory entry
+// granularity varied at constant coverage — entries × granularity held
+// at the Table II 48K lines per GPM.
+func Granularity(r *Runner) (*report.Table, error) {
+	points, labels := granularityPoints()
 	t, err := sweep(r, "Sec. VII-B: directory entry granularity at constant coverage", points, labels)
 	if err != nil {
 		return nil, err
@@ -261,6 +285,19 @@ func DowngradeAblation(r *Runner) (*report.Table, error) {
 	return t, nil
 }
 
+// writeBackRows are the protocol × L2-design points of the write-back
+// ablation, in table order.
+var writeBackRows = []struct {
+	label string
+	kind  proto.Kind
+	wb    bool
+}{
+	{"NHCC write-through", proto.NHCC, false},
+	{"NHCC write-back", proto.NHCC, true},
+	{"HMG write-through", proto.HMG, false},
+	{"HMG write-back", proto.HMG, true},
+}
+
 // WriteBackAblation studies the Section IV write-back L2 option against
 // the paper's evaluated write-through design, for the hardware
 // protocols.
@@ -269,16 +306,7 @@ func WriteBackAblation(r *Runner) (*report.Table, error) {
 		Title:   "Ablation: write-back vs write-through L2 (Section IV design options)",
 		Columns: []string{"speedup", "interGPU GB/s"},
 	}
-	for _, row := range []struct {
-		label string
-		kind  proto.Kind
-		wb    bool
-	}{
-		{"NHCC write-through", proto.NHCC, false},
-		{"NHCC write-back", proto.NHCC, true},
-		{"HMG write-through", proto.HMG, false},
-		{"HMG write-back", proto.HMG, true},
-	} {
+	for _, row := range writeBackRows {
 		var sp []float64
 		var gbs float64
 		for _, b := range workload.Suite() {
@@ -329,6 +357,20 @@ func MCAStudy(r *Runner) (*report.Table, error) {
 	return t, nil
 }
 
+// gpmScopeNames are the explicitly synchronizing benchmarks of the
+// Section VII-D scope study; gpmScopeScopes the sync scopes swept.
+var gpmScopeNames = []string{"namd2.10", "cuSolver", "mst"}
+var gpmScopeScopes = []trace.Scope{trace.ScopeGPM, trace.ScopeGPU, trace.ScopeSys}
+
+// gpmScopeBench narrows/widens a benchmark's synchronization to sc,
+// keyed under a scope-suffixed abbreviation.
+func gpmScopeBench(b workload.Params, sc trace.Scope) workload.Params {
+	v := b
+	v.SyncScope = sc
+	v.Abbrev = b.Abbrev + sc.String()
+	return v
+}
+
 // GPMScopeStudy measures the Section VII-D question: would a .gpm scope
 // between .cta and .gpu pay off? The explicitly synchronizing
 // benchmarks run under HMG with their synchronization narrowed to .gpm,
@@ -340,16 +382,14 @@ func GPMScopeStudy(r *Runner) (*report.Table, error) {
 		Title:   "Sec. VII-D: would a .gpm scope help? (sync-heavy benchmarks under HMG)",
 		Columns: []string{".gpm sync", ".gpu sync", ".sys sync"},
 	}
-	for _, name := range []string{"namd2.10", "cuSolver", "mst"} {
+	for _, name := range gpmScopeNames {
 		b, err := workload.Get(name)
 		if err != nil {
 			return nil, err
 		}
 		row := make([]float64, 0, 3)
-		for _, sc := range []trace.Scope{trace.ScopeGPM, trace.ScopeGPU, trace.ScopeSys} {
-			v := b
-			v.SyncScope = sc
-			v.Abbrev = b.Abbrev + sc.String()
+		for _, sc := range gpmScopeScopes {
+			v := gpmScopeBench(b, sc)
 			s, err := r.Speedup(v, proto.HMG, Variant{})
 			if err != nil {
 				return nil, err
@@ -363,6 +403,17 @@ func GPMScopeStudy(r *Runner) (*report.Table, error) {
 	return t, nil
 }
 
+// localityRows are the locality-policy ablation points, in table order.
+var localityRows = []struct {
+	label string
+	v     Variant
+}{
+	{"contiguous CTAs + first-touch (paper)", Variant{}},
+	{"scattered CTAs", Variant{ScatterCTAs: true}},
+	{"static page placement", Variant{StaticPlacement: true}},
+	{"both ablated", Variant{ScatterCTAs: true, StaticPlacement: true}},
+}
+
 // LocalityAblation measures the two locality policies the paper's
 // simulator inherits from prior work ("contiguous CTA scheduling and
 // first-touch page placement policies ... to maximize data locality"):
@@ -373,15 +424,7 @@ func LocalityAblation(r *Runner) (*report.Table, error) {
 		Title:   "Ablation: locality policies (contiguous CTA scheduling, first-touch placement) under HMG",
 		Columns: []string{"speedup"},
 	}
-	for _, row := range []struct {
-		label string
-		v     Variant
-	}{
-		{"contiguous CTAs + first-touch (paper)", Variant{}},
-		{"scattered CTAs", Variant{ScatterCTAs: true}},
-		{"static page placement", Variant{StaticPlacement: true}},
-		{"both ablated", Variant{ScatterCTAs: true, StaticPlacement: true}},
-	} {
+	for _, row := range localityRows {
 		var sp []float64
 		for _, b := range workload.Suite() {
 			s, err := r.Speedup(b, proto.HMG, row.v)

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"hmg/internal/gsim"
+	"hmg/internal/proto"
+	"hmg/internal/workload"
+)
+
+func TestOptionsValidation(t *testing.T) {
+	for _, bad := range []Options{
+		{Scale: -0.5},
+		{Scale: 1.5},
+		{SMsPerGPM: -4},
+		{PageSizeKB: -32},
+		{Jobs: -2},
+	} {
+		if _, err := NewRunner(bad); err == nil {
+			t.Errorf("NewRunner(%+v) accepted invalid options", bad)
+		}
+	}
+	r, err := NewRunner(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Options().Jobs != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default Jobs = %d, want GOMAXPROCS %d", r.Options().Jobs, runtime.GOMAXPROCS(0))
+	}
+}
+
+// TestConcurrentRunSingleflight hammers one (bench, kind, variant) key
+// from many goroutines: exactly one simulation may execute, with every
+// duplicate requester blocking on and sharing the first run's result.
+func TestConcurrentRunSingleflight(t *testing.T) {
+	r := testRunner()
+	b, _ := workload.Get("overfeat")
+	const goroutines = 16
+	results := make([]*gsim.Results, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := r.Run(b, proto.HMG, Variant{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("goroutine %d got a different *Results than goroutine 0", i)
+		}
+	}
+	s := r.Summary()
+	if s.UniqueRuns != 1 {
+		t.Fatalf("%d simulations executed for one key, want exactly 1", s.UniqueRuns)
+	}
+	if s.MemoHits != goroutines-1 {
+		t.Fatalf("memo hits = %d, want %d", s.MemoHits, goroutines-1)
+	}
+}
+
+// TestPrewarmDeterminism runs the same plan serially and on 8 workers:
+// per-run results must be bit-equal, and (out of -short) the Fig. 9
+// table rendering must be byte-identical.
+func TestPrewarmDeterminism(t *testing.T) {
+	scale := 0.1
+	suite := workload.Suite()[:4]
+	plan := func() []RunSpec {
+		var specs []RunSpec
+		for _, b := range suite {
+			specs = append(specs, RunSpec{Bench: b, Kind: proto.NoRemoteCache})
+			specs = append(specs, RunSpec{Bench: b, Kind: proto.HMG})
+		}
+		return specs
+	}
+	newRunner := func(jobs int) *Runner {
+		r, err := NewRunner(Options{Scale: scale, SMsPerGPM: 4, Jobs: jobs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	serial, parallel := newRunner(1), newRunner(8)
+	if err := serial.Prewarm(plan()); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.Prewarm(plan()); err != nil {
+		t.Fatal(err)
+	}
+	if s := parallel.Summary(); s.UniqueRuns != len(suite)*2 {
+		t.Fatalf("parallel prewarm ran %d unique sims, want %d", s.UniqueRuns, len(suite)*2)
+	}
+	for _, b := range suite {
+		for _, k := range []proto.Kind{proto.NoRemoteCache, proto.HMG} {
+			r1, err := serial.Run(b, k, Variant{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := parallel.Run(b, k, Variant{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r1.Cycles != r2.Cycles || r1.EventsExecuted != r2.EventsExecuted ||
+				r1.InterGPUBytes != r2.InterGPUBytes {
+				t.Fatalf("%s/%v differs across jobs=1 and jobs=8: %+v vs %+v", b.Abbrev, k, r1, r2)
+			}
+		}
+	}
+
+	if testing.Short() {
+		return
+	}
+	// Full figure at both parallelism levels: the rendered table must
+	// match byte for byte.
+	fig9 := func(jobs int) string {
+		r := newRunner(jobs)
+		if err := r.Prewarm(hmgProfilePlan()); err != nil {
+			t.Fatal(err)
+		}
+		tab, err := Fig9(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab.String()
+	}
+	if s, p := fig9(1), fig9(8); s != p {
+		t.Fatalf("Fig9 output differs between -jobs 1 and -jobs 8:\n--- jobs=1\n%s\n--- jobs=8\n%s", s, p)
+	}
+}
+
+// TestRegistry checks the campaign registry invariants the hmgbench
+// command relies on: unique names, generators for every entry, and
+// plans whose specs all canonicalize into the runner's memo space.
+func TestRegistry(t *testing.T) {
+	figs := Figures()
+	if len(figs) != 21 {
+		t.Fatalf("registry has %d figures, want 21", len(figs))
+	}
+	seen := map[string]bool{}
+	for _, f := range figs {
+		if f.Name == "" || f.Gen == nil {
+			t.Fatalf("registry entry %+v incomplete", f.Name)
+		}
+		if seen[strings.ToLower(f.Name)] {
+			t.Fatalf("duplicate figure name %q", f.Name)
+		}
+		seen[strings.ToLower(f.Name)] = true
+	}
+	// The Fig. 8 plan covers the suite under six protocols (five
+	// configurations plus the shared baseline), deduplicating to
+	// 20 benchmarks × 6 kinds unique keys.
+	r := testRunner()
+	var fig8 Figure
+	for _, f := range figs {
+		if f.Name == "8" {
+			fig8 = f
+		}
+	}
+	keys := map[runKey]bool{}
+	for _, s := range fig8.Plan() {
+		keys[r.key(s.Bench, s.Kind, s.V, s.GPUs)] = true
+	}
+	if want := 20 * 6; len(keys) != want {
+		t.Fatalf("fig8 plan has %d unique keys, want %d", len(keys), want)
+	}
+	// The scaling plan's 4-GPU machine shares keys with the Table II
+	// runs: its NoRemoteCache/HMG points at 4 GPUs must collide with
+	// the Fig. 8 baseline keys.
+	var scaling Figure
+	for _, f := range figs {
+		if f.Name == "scaling" {
+			scaling = f
+		}
+	}
+	shared := 0
+	for _, s := range scaling.Plan() {
+		if keys[r.key(s.Bench, s.Kind, s.V, s.GPUs)] {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("scaling plan at 4 GPUs does not reuse Table II memo keys")
+	}
+}

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"hmg/internal/proto"
+	"hmg/internal/report"
+	"hmg/internal/workload"
+)
+
+// RunSpec identifies one memoizable simulation of a campaign: a
+// benchmark under a protocol and architectural variant, optionally on a
+// non-default machine size (GPUs == 0 means the Table II 4-GPU system).
+// Specs that canonicalize to the same memo key (see Runner.key) execute
+// once.
+type RunSpec struct {
+	Bench workload.Params
+	Kind  proto.Kind
+	V     Variant
+	GPUs  int
+}
+
+// Figure is one entry of the campaign registry: a table generator plus
+// the plan of simulations it will request. Plan is nil for figures that
+// run no memoized simulations (static tables, trace profiles, and the
+// self-timed Fig. 7 calibration).
+type Figure struct {
+	Name string
+	Gen  func(*Runner) (*report.Table, error)
+	Plan func() []RunSpec
+}
+
+// Figures returns the full campaign registry in the paper's
+// presentation order — the single source of truth for cmd/hmgbench's
+// figure names and for campaign prewarming.
+func Figures() []Figure {
+	return []Figure{
+		{"tableII", func(r *Runner) (*report.Table, error) { return TableII(r), nil }, nil},
+		{"tableIII", func(r *Runner) (*report.Table, error) { return TableIII(r), nil }, nil},
+		{"cost", func(r *Runner) (*report.Table, error) { return HardwareCost(r), nil }, nil},
+		{"3", Fig3, nil},
+		{"7", Fig7, nil},
+		{"2", Fig2, speedupPlan(fig2Protocols)},
+		{"8", Fig8, speedupPlan(fig8Protocols)},
+		{"9", Fig9, hmgProfilePlan},
+		{"10", Fig10, hmgProfilePlan},
+		{"11", Fig11, hmgProfilePlan},
+		{"12", Fig12, sweepPlan(fig12Points)},
+		{"13", Fig13, sweepPlan(fig13Points)},
+		{"14", Fig14, sweepPlan(fig14Points)},
+		{"granularity", Granularity, sweepPlan(granularityPoints)},
+		{"downgrade", DowngradeAblation, downgradePlan},
+		{"writeback", WriteBackAblation, writeBackPlan},
+		{"gpmscope", GPMScopeStudy, gpmScopePlan},
+		{"scaling", ScalingStudy, scalingPlan},
+		{"carve", RelatedProtocols, speedupPlan([]proto.Kind{proto.NHCC, proto.CARVE, proto.HMG})},
+		{"locality", LocalityAblation, localityPlan},
+		{"mca", MCAStudy, speedupPlan([]proto.Kind{proto.GPUVI, proto.NHCC, proto.HMG})},
+	}
+}
+
+// FigureNames returns the registry names in presentation order.
+func FigureNames() []string {
+	var names []string
+	for _, f := range Figures() {
+		names = append(names, f.Name)
+	}
+	return names
+}
+
+// speedupPlan covers a speedupTable: every suite benchmark under each
+// kind at Table II, plus the shared no-caching baseline.
+func speedupPlan(kinds []proto.Kind) func() []RunSpec {
+	return func() []RunSpec {
+		var specs []RunSpec
+		for _, b := range workload.Suite() {
+			specs = append(specs, RunSpec{Bench: b, Kind: proto.NoRemoteCache})
+			for _, k := range kinds {
+				specs = append(specs, RunSpec{Bench: b, Kind: k})
+			}
+		}
+		return specs
+	}
+}
+
+// hmgProfilePlan covers the Figs. 9–11 profiles: the suite under HMG at
+// Table II (no baseline — profiles are not normalized).
+func hmgProfilePlan() []RunSpec {
+	var specs []RunSpec
+	for _, b := range workload.Suite() {
+		specs = append(specs, RunSpec{Bench: b, Kind: proto.HMG})
+	}
+	return specs
+}
+
+// sweepPlan covers a sensitivity sweep: the sweep protocols at every
+// point, plus the shared baseline.
+func sweepPlan(points func() ([]Variant, []string)) func() []RunSpec {
+	return func() []RunSpec {
+		pts, _ := points()
+		kinds := []proto.Kind{proto.NHCC, proto.SWHier, proto.HMG, proto.Ideal}
+		var specs []RunSpec
+		for _, b := range workload.Suite() {
+			specs = append(specs, RunSpec{Bench: b, Kind: proto.NoRemoteCache})
+			for _, v := range pts {
+				for _, k := range kinds {
+					specs = append(specs, RunSpec{Bench: b, Kind: k, V: v})
+				}
+			}
+		}
+		return specs
+	}
+}
+
+// downgradePlan covers the sharer-downgrade ablation.
+func downgradePlan() []RunSpec {
+	var specs []RunSpec
+	for _, b := range workload.Suite() {
+		specs = append(specs, RunSpec{Bench: b, Kind: proto.NoRemoteCache})
+		for _, on := range []bool{false, true} {
+			specs = append(specs, RunSpec{Bench: b, Kind: proto.HMG, V: Variant{Downgrade: on}})
+		}
+	}
+	return specs
+}
+
+// writeBackPlan covers the write-back L2 ablation.
+func writeBackPlan() []RunSpec {
+	var specs []RunSpec
+	for _, b := range workload.Suite() {
+		specs = append(specs, RunSpec{Bench: b, Kind: proto.NoRemoteCache})
+		for _, row := range writeBackRows {
+			specs = append(specs, RunSpec{Bench: b, Kind: row.kind, V: Variant{WriteBack: row.wb}})
+		}
+	}
+	return specs
+}
+
+// gpmScopePlan covers the Section VII-D scope study: each sync-heavy
+// benchmark at each scope, with its own scope-specific baseline.
+func gpmScopePlan() []RunSpec {
+	var specs []RunSpec
+	for _, name := range gpmScopeNames {
+		b, err := workload.Get(name)
+		if err != nil {
+			continue // Gen reports the error
+		}
+		for _, sc := range gpmScopeScopes {
+			v := gpmScopeBench(b, sc)
+			specs = append(specs,
+				RunSpec{Bench: v, Kind: proto.NoRemoteCache},
+				RunSpec{Bench: v, Kind: proto.HMG})
+		}
+	}
+	return specs
+}
+
+// scalingPlan covers the GPU-count scaling study: the suite under every
+// study protocol and per-machine-size baseline at 2, 4, and 8 GPUs.
+func scalingPlan() []RunSpec {
+	var specs []RunSpec
+	for _, gpus := range scalingGPUCounts {
+		for _, b := range workload.Suite() {
+			specs = append(specs, RunSpec{Bench: b, Kind: proto.NoRemoteCache, GPUs: gpus})
+			for _, k := range scalingKinds {
+				specs = append(specs, RunSpec{Bench: b, Kind: k, GPUs: gpus})
+			}
+		}
+	}
+	return specs
+}
+
+// localityPlan covers the locality-policy ablation.
+func localityPlan() []RunSpec {
+	var specs []RunSpec
+	for _, b := range workload.Suite() {
+		specs = append(specs, RunSpec{Bench: b, Kind: proto.NoRemoteCache})
+		for _, row := range localityRows {
+			specs = append(specs, RunSpec{Bench: b, Kind: proto.HMG, V: row.v})
+		}
+	}
+	return specs
+}

@@ -5,11 +5,24 @@
 // invalidation profiles (Figs. 9–11), and the sensitivity sweeps over
 // inter-GPU bandwidth, L2 capacity, directory size, and directory entry
 // granularity (Figs. 12–14 and §VII-B).
+//
+// Every simulation of a campaign is identified by a (benchmark,
+// protocol, variant) key and memoized, so figures sharing configuration
+// points (e.g. every sweep's Table II column and the common no-caching
+// baseline) reuse results. The memo cache is concurrency-safe with
+// in-flight deduplication, and each figure exposes its run set as a
+// plan of RunSpecs (see registry.go), so a campaign can Prewarm the
+// union of unique runs across a bounded worker pool and then generate
+// tables from the warm cache — output is byte-identical regardless of
+// parallelism or completion order.
 package experiments
 
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
+	"time"
 
 	"hmg/internal/gsim"
 	"hmg/internal/proto"
@@ -29,7 +42,12 @@ type Options struct {
 	// footprints are scaled ~64× below Table III, so pages scale from
 	// 2MB to 64KB to keep a representative page count.
 	PageSizeKB int
-	// Log receives progress lines (nil for silence).
+	// Jobs bounds the worker pool of Prewarm (default GOMAXPROCS).
+	// Figure tables are independent of Jobs: parallelism only warms the
+	// memo cache faster.
+	Jobs int
+	// Log receives progress lines (nil for silence). Writes are
+	// serialized by the Runner, so any io.Writer is safe.
 	Log io.Writer
 }
 
@@ -48,7 +66,29 @@ func (o Options) withDefaults() Options {
 	if o.PageSizeKB == 0 {
 		o.PageSizeKB = 32
 	}
+	if o.Jobs == 0 {
+		o.Jobs = runtime.GOMAXPROCS(0)
+	}
 	return o
+}
+
+// validate rejects option values that would silently produce nonsense
+// traces or configurations. Zero values mean "use the default" and are
+// always accepted.
+func (o Options) validate() error {
+	if o.Scale < 0 || o.Scale > 1 {
+		return fmt.Errorf("experiments: Scale %v outside (0, 1]", o.Scale)
+	}
+	if o.SMsPerGPM < 0 {
+		return fmt.Errorf("experiments: SMsPerGPM %d must be positive", o.SMsPerGPM)
+	}
+	if o.PageSizeKB < 0 {
+		return fmt.Errorf("experiments: PageSizeKB %d must be positive", o.PageSizeKB)
+	}
+	if o.Jobs < 0 {
+		return fmt.Errorf("experiments: Jobs %d must be positive", o.Jobs)
+	}
+	return nil
 }
 
 // Variant selects the architectural point of a run; zero fields mean the
@@ -93,21 +133,74 @@ type runKey struct {
 	v     Variant
 }
 
-// Runner executes simulations with memoization, so figures sharing
-// configuration points (e.g. every sweep's Table II column and the
-// common no-caching baseline) reuse results.
-type Runner struct {
-	opts  Options
-	cache map[runKey]*gsim.Results
+// inflight is one memo-cache entry: the first requester of a key owns
+// the simulation; duplicate requesters block on done until the owner
+// publishes res/err.
+type inflight struct {
+	done chan struct{}
+	res  *gsim.Results
+	err  error
 }
 
-// NewRunner builds a Runner.
-func NewRunner(o Options) *Runner {
-	return &Runner{opts: o.withDefaults(), cache: make(map[runKey]*gsim.Results)}
+// Runner executes simulations with memoization, so figures sharing
+// configuration points (e.g. every sweep's Table II column and the
+// common no-caching baseline) reuse results. All methods are safe for
+// concurrent use; concurrent requests for the same key simulate it
+// exactly once.
+type Runner struct {
+	opts Options
+
+	mu    sync.Mutex
+	cache map[runKey]*inflight
+	stats Summary
+
+	logMu sync.Mutex
+}
+
+// NewRunner builds a Runner, validating the options.
+func NewRunner(o Options) (*Runner, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return &Runner{opts: o.withDefaults(), cache: make(map[runKey]*inflight)}, nil
 }
 
 // Options returns the runner's options.
 func (r *Runner) Options() Options { return r.opts }
+
+// Summary is the campaign-level accounting of a Runner.
+type Summary struct {
+	// UniqueRuns counts simulations actually executed.
+	UniqueRuns int
+	// MemoHits counts requests served from the cache (including
+	// requests that blocked on an in-flight duplicate).
+	MemoHits int
+	// SimCycles and Events total the simulated cycles and discrete
+	// events across unique runs.
+	SimCycles uint64
+	Events    uint64
+	// RunWall sums per-run wall time across unique runs. Under
+	// parallelism it exceeds campaign elapsed time.
+	RunWall time.Duration
+}
+
+// Summary returns a snapshot of the campaign accounting.
+func (r *Runner) Summary() Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// logf writes one progress line; writes are serialized so concurrent
+// runs never interleave bytes.
+func (r *Runner) logf(format string, args ...any) {
+	if r.opts.Log == nil {
+		return
+	}
+	r.logMu.Lock()
+	fmt.Fprintf(r.opts.Log, format, args...)
+	r.logMu.Unlock()
+}
 
 // ScaleDown is the linear scaling factor of the experiment model: the
 // Table III footprints, Table II cache capacities, directory entry
@@ -117,6 +210,10 @@ func (r *Runner) Options() Options { return r.opts }
 // keeping traces small enough to sweep. Bandwidths and latencies stay at
 // full scale.
 const ScaleDown = 96
+
+// tableIIGPUs is the machine size of the Table II configuration; scaled
+// machine runs at this GPU count share memo entries with unscaled runs.
+const tableIIGPUs = 4
 
 // Config builds the simulated system configuration for a protocol and
 // variant. Capacities scale by ScaleDown; bandwidths scale by the SM
@@ -149,11 +246,12 @@ func (r *Runner) Config(kind proto.Kind, v Variant) gsim.Config {
 	return cfg
 }
 
-// Run simulates one benchmark under one protocol and variant, memoized.
-// Directory parameters are canonicalized away for software and ideal
-// configurations (they have no directories), so sweeps over directory
-// size reuse their runs.
-func (r *Runner) Run(bench workload.Params, kind proto.Kind, v Variant) (*gsim.Results, error) {
+// key canonicalizes a run to its memo key. Directory parameters are
+// canonicalized away for software and ideal configurations (they have
+// no directories), so sweeps over directory size reuse their runs; a
+// Table II-sized machine (gpus == 4 or 0) shares a key with unscaled
+// runs.
+func (r *Runner) key(bench workload.Params, kind proto.Kind, v Variant, gpus int) runKey {
 	v = v.withDefaults()
 	if !proto.For(kind).Hardware {
 		def := Variant{}.withDefaults()
@@ -161,11 +259,56 @@ func (r *Runner) Run(bench workload.Params, kind proto.Kind, v Variant) (*gsim.R
 		v.GranLines = def.GranLines
 		v.Downgrade = false
 	}
-	key := runKey{bench.Abbrev, kind, v}
-	if res, ok := r.cache[key]; ok {
-		return res, nil
+	name := bench.Abbrev
+	if gpus != 0 && gpus != tableIIGPUs {
+		name = fmt.Sprintf("%s@%dgpu", name, gpus)
 	}
+	return runKey{name, kind, v}
+}
+
+// memoized serves key from the cache, executing sim exactly once across
+// all concurrent requesters of the same key (singleflight): duplicates
+// block until the owner's simulation completes and then share its
+// result.
+func (r *Runner) memoized(key runKey, sim func() (*gsim.Results, error)) (*gsim.Results, error) {
+	r.mu.Lock()
+	if e, ok := r.cache[key]; ok {
+		r.stats.MemoHits++
+		r.mu.Unlock()
+		<-e.done
+		return e.res, e.err
+	}
+	e := &inflight{done: make(chan struct{})}
+	r.cache[key] = e
+	r.mu.Unlock()
+
+	start := time.Now()
+	e.res, e.err = sim()
+	wall := time.Since(start)
+	close(e.done)
+	if e.err != nil {
+		return nil, e.err
+	}
+
+	r.mu.Lock()
+	r.stats.UniqueRuns++
+	r.stats.SimCycles += uint64(e.res.Cycles)
+	r.stats.Events += e.res.EventsExecuted
+	r.stats.RunWall += wall
+	r.mu.Unlock()
+	mevps := float64(e.res.EventsExecuted) / wall.Seconds() / 1e6
+	r.logf("  ran %-12s %-16v %9d cycles  %6.2f GB/s inter-GPU  %6.2fs wall  %5.1f Mev/s\n",
+		key.bench, key.kind, e.res.Cycles, e.res.InterGPUGBs(), wall.Seconds(), mevps)
+	return e.res, nil
+}
+
+// simulate executes one run for real: build the configuration (at an
+// optional non-default GPU count), generate the trace, and run it.
+func (r *Runner) simulate(bench workload.Params, kind proto.Kind, v Variant, gpus int) (*gsim.Results, error) {
 	cfg := r.Config(kind, v)
+	if gpus != 0 {
+		cfg.Topo.NumGPUs = gpus
+	}
 	sys, err := gsim.New(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s/%v: %w", bench.Abbrev, kind, err)
@@ -180,12 +323,15 @@ func (r *Runner) Run(bench workload.Params, kind proto.Kind, v Variant) (*gsim.R
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s/%v: %w", bench.Abbrev, kind, err)
 	}
-	r.cache[key] = res
-	if r.opts.Log != nil {
-		fmt.Fprintf(r.opts.Log, "  ran %-12s %-16v %9d cycles  %6.2f GB/s inter-GPU\n",
-			bench.Abbrev, kind, res.Cycles, res.InterGPUGBs())
-	}
 	return res, nil
+}
+
+// Run simulates one benchmark under one protocol and variant, memoized.
+func (r *Runner) Run(bench workload.Params, kind proto.Kind, v Variant) (*gsim.Results, error) {
+	key := r.key(bench, kind, v, 0)
+	return r.memoized(key, func() (*gsim.Results, error) {
+		return r.simulate(bench, kind, key.v, 0)
+	})
 }
 
 // Speedup returns benchmark runtime under kind normalized to the
@@ -204,4 +350,72 @@ func (r *Runner) Speedup(bench workload.Params, kind proto.Kind, v Variant) (flo
 		return 0, fmt.Errorf("experiments: zero-cycle run for %s/%v", bench.Abbrev, kind)
 	}
 	return float64(base.Cycles) / float64(res.Cycles), nil
+}
+
+// Prewarm executes the union of unique runs in specs across a bounded
+// pool of Options.Jobs workers, filling the memo cache. Figure
+// generation afterwards reads warm results in its own deterministic
+// order, so table output does not depend on Jobs or on completion
+// order. The first simulation error is returned after the pool drains.
+func (r *Runner) Prewarm(specs []RunSpec) error {
+	seen := make(map[runKey]bool, len(specs))
+	var todo []RunSpec
+	for _, s := range specs {
+		k := r.key(s.Bench, s.Kind, s.V, s.GPUs)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		todo = append(todo, s)
+	}
+	if len(todo) == 0 {
+		return nil
+	}
+	jobs := r.opts.Jobs
+	if jobs > len(todo) {
+		jobs = len(todo)
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+
+	start := time.Now()
+	before := r.Summary()
+	work := make(chan RunSpec)
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range work {
+				var err error
+				if s.GPUs != 0 {
+					_, err = r.runScaled(s.Bench, s.Kind, s.GPUs)
+				} else {
+					_, err = r.Run(s.Bench, s.Kind, s.V)
+				}
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, s := range todo {
+		work <- s
+	}
+	close(work)
+	wg.Wait()
+
+	elapsed := time.Since(start)
+	after := r.Summary()
+	r.logf("prewarm: %d unique runs (%d duplicate specs folded) on %d workers in %.1fs, %.1f M events/s\n",
+		after.UniqueRuns-before.UniqueRuns, len(specs)-len(todo), jobs, elapsed.Seconds(),
+		float64(after.Events-before.Events)/elapsed.Seconds()/1e6)
+	return firstErr
 }

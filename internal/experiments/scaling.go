@@ -10,18 +10,23 @@ import (
 	"hmg/internal/workload"
 )
 
+// scalingKinds and scalingGPUCounts are the protocol columns and
+// machine sizes of the GPU-count scaling study.
+var scalingKinds = []proto.Kind{proto.NHCC, proto.SWHier, proto.HMG, proto.Ideal}
+var scalingGPUCounts = []int{2, 4, 8}
+
 // ScalingStudy measures the Section VII-D discussion: HMG is envisioned
 // for systems "comprised by a single NVSwitch-based network", and its
 // hierarchical sharer tracking (M+N-2 bits) scales with GPU count. The
 // study runs the suite on 2-, 4-, and 8-GPU machines (4 GPMs each),
 // normalizing each machine size to its own no-remote-caching baseline.
 func ScalingStudy(r *Runner) (*report.Table, error) {
-	kinds := []proto.Kind{proto.NHCC, proto.SWHier, proto.HMG, proto.Ideal}
+	kinds := scalingKinds
 	t := &report.Table{Title: "Sec. VII-D: scaling with GPU count (4 GPMs per GPU)"}
 	for _, k := range kinds {
 		t.Columns = append(t.Columns, legend(k))
 	}
-	for _, gpus := range []int{2, 4, 8} {
+	for _, gpus := range scalingGPUCounts {
 		base := make(map[string]float64)
 		for _, b := range workload.Suite() {
 			res, err := r.runScaled(b, proto.NoRemoteCache, gpus)
@@ -50,26 +55,11 @@ func ScalingStudy(r *Runner) (*report.Table, error) {
 }
 
 // runScaled runs one benchmark on a machine with the given GPU count,
-// memoized under a synthetic variant key.
+// memoized under a synthetic key (a 4-GPU machine is the Table II
+// configuration and shares its memo entries with plain runs).
 func (r *Runner) runScaled(bench workload.Params, kind proto.Kind, gpus int) (*gsim.Results, error) {
-	key := runKey{bench.Abbrev + fmt.Sprintf("@%dgpu", gpus), kind, Variant{}.withDefaults()}
-	if res, ok := r.cache[key]; ok {
-		return res, nil
-	}
-	cfg := r.Config(kind, Variant{})
-	cfg.Topo.NumGPUs = gpus
-	sys, err := gsim.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	tr := bench.Generate(cfg.Topo, r.opts.Scale)
-	res, err := sys.Run(tr)
-	if err != nil {
-		return nil, fmt.Errorf("scaling %s/%v@%d: %w", bench.Abbrev, kind, gpus, err)
-	}
-	r.cache[key] = res
-	if r.opts.Log != nil {
-		fmt.Fprintf(r.opts.Log, "  ran %-12s %-16v %d GPUs %9d cycles\n", bench.Abbrev, kind, gpus, res.Cycles)
-	}
-	return res, nil
+	key := r.key(bench, kind, Variant{}, gpus)
+	return r.memoized(key, func() (*gsim.Results, error) {
+		return r.simulate(bench, kind, key.v, gpus)
+	})
 }

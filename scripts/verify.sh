@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Repo verification: build, vet, full tests, and a race-detector tier.
+#
+# The race tier runs the whole module at -short scale (the experiment
+# suites are ~10x slower under -race) plus the full experiments package,
+# which carries the concurrent campaign runner and must stay race-clean
+# at full scale.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build"
+go build ./...
+
+echo "== go vet"
+go vet ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (short, all packages)"
+go test -race -short ./...
+
+echo "== go test -race (full, experiments)"
+go test -race ./internal/experiments/...
+
+echo "verify OK"
