@@ -73,9 +73,73 @@ func TestHmgsimFlow(t *testing.T) {
 			t.Fatalf("hmgsim output missing %q:\n%s", want, out)
 		}
 	}
-	// Unknown protocol errors out.
-	if _, err := exec.Command(bin, "-bench", "overfeat", "-protocol", "nope").CombinedOutput(); err == nil {
+	// Unknown protocol errors out, listing the registry's names.
+	out2, err := exec.Command(bin, "-bench", "overfeat", "-protocol", "nope").CombinedOutput()
+	if err == nil {
 		t.Fatal("hmgsim accepted unknown protocol")
+	}
+	if !strings.Contains(string(out2), "known:") || !strings.Contains(string(out2), "NoRemoteCaching") {
+		t.Fatalf("unknown-protocol error does not list known protocols:\n%s", out2)
+	}
+	// Unknown benchmark errors out, listing the registry's names.
+	out2, err = exec.Command(bin, "-bench", "nosuch", "-protocol", "HMG").CombinedOutput()
+	if err == nil {
+		t.Fatal("hmgsim accepted unknown benchmark")
+	}
+	if !strings.Contains(string(out2), "known:") || !strings.Contains(string(out2), "nw-16K") {
+		t.Fatalf("unknown-benchmark error does not list known benchmarks:\n%s", out2)
+	}
+	// -check attaches the conformance checker and reports a clean run.
+	out3 := run(t, bin, "-bench", "overfeat", "-protocol", "HMG", "-scale", "0.1", "-sms", "2", "-check")
+	if !strings.Contains(out3, "conformance:       0 invariant violations") {
+		t.Fatalf("hmgsim -check output missing conformance line:\n%s", out3)
+	}
+}
+
+func TestHmgtraceUnknownBenchmark(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI build in -short mode")
+	}
+	bin := build(t, "cmd/hmgtrace")
+	for _, args := range [][]string{
+		{"gen", "-bench", "nosuch", "-o", filepath.Join(t.TempDir(), "x.hmgt")},
+		{"fig3", "-bench", "nosuch"},
+	} {
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err == nil {
+			t.Fatalf("hmgtrace %v accepted unknown benchmark", args)
+		}
+		if !strings.Contains(string(out), "known:") || !strings.Contains(string(out), "nw-16K") {
+			t.Fatalf("hmgtrace %v error does not list known benchmarks:\n%s", args, out)
+		}
+	}
+}
+
+// TestHmgcheckFlow drives the conformance sweep end to end: a small
+// trunk sweep must pass, and the same sweep with an injected Table I
+// mutation must fail — the harness proving its own teeth.
+func TestHmgcheckFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI build in -short mode")
+	}
+	bin := build(t, "cmd/hmgcheck")
+	out := run(t, bin, "-seeds", "24", "-bench", "nw-16K", "-scale", "0.1")
+	if !strings.Contains(out, "cases passed") {
+		t.Fatalf("hmgcheck output:\n%s", out)
+	}
+	mutated, err := exec.Command(bin, "-seeds", "64", "-bench", "nw-16K", "-scale", "0.1", "-mutate", "1").CombinedOutput()
+	if err == nil {
+		t.Fatalf("hmgcheck passed with an injected protocol bug:\n%s", mutated)
+	}
+	if !strings.Contains(string(mutated), "FAILED") {
+		t.Fatalf("mutated sweep did not report failures:\n%s", mutated)
+	}
+	// Unknown names reuse the registry-derived errors.
+	if out, err := exec.Command(bin, "-protocol", "nope").CombinedOutput(); err == nil || !strings.Contains(string(out), "known:") {
+		t.Fatalf("hmgcheck unknown protocol: err=%v out=%s", err, out)
+	}
+	if out, err := exec.Command(bin, "-bench", "nosuch").CombinedOutput(); err == nil || !strings.Contains(string(out), "known:") {
+		t.Fatalf("hmgcheck unknown benchmark: err=%v out=%s", err, out)
 	}
 }
 

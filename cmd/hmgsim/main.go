@@ -31,6 +31,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale in (0,1]")
 	compare := flag.Bool("compare", false, "also run the no-remote-caching baseline and report speedup")
 	sms := flag.Int("sms", 8, "modeled SMs per GPM")
+	check := flag.Bool("check", false, "attach the protocol conformance checker; exit non-zero on invariant violations")
 	flag.Parse()
 
 	kind, err := hmg.ParseProtocol(*protoName)
@@ -65,7 +66,13 @@ func main() {
 		fatal(fmt.Errorf("one of -bench or -trace is required"))
 	}
 
-	sys, err := hmg.NewSystem(cfg)
+	var opts []hmg.Option
+	if *check {
+		// The checker's value invariants need value tracking.
+		cfg.TrackValues = true
+		opts = append(opts, hmg.WithInvariantChecks())
+	}
+	sys, err := hmg.NewSystem(cfg, opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -95,6 +102,12 @@ func main() {
 		}
 		fmt.Printf("speedup vs no-remote-caching baseline: %.2fx (%d / %d cycles)\n",
 			float64(base.Cycles)/float64(res.Cycles), base.Cycles, res.Cycles)
+	}
+	if *check {
+		if err := sys.CheckErr(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("conformance:       %d invariant violations\n", len(sys.Violations()))
 	}
 }
 

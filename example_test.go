@@ -49,25 +49,20 @@ func ExampleHardwareCost() {
 // functional simulator.
 func ExampleRunLitmus() {
 	cfg := hmg.DefaultConfig(hmg.ProtocolHMG)
-	prog := hmg.LitmusProgram{
-		Name: "mp",
-		Threads: []hmg.LitmusThread{
-			{Slot: 0, Ops: []trace.Op{
-				{Kind: trace.Store, Addr: 0x100, Val: 42},
-				{Kind: trace.StoreRel, Scope: trace.ScopeSys, Addr: 0x200, Val: 1},
-			}},
-			{Slot: 12, Ops: []trace.Op{
-				{Kind: trace.LoadAcq, Scope: trace.ScopeSys, Addr: 0x200, Gap: 5_000_000},
-				{Kind: trace.Load, Addr: 0x100},
-			}},
-		},
-	}
-	obs, _, err := hmg.RunLitmus(cfg, prog)
+	prog := hmg.NewLitmus("mp").
+		Thread(0,
+			trace.Op{Kind: trace.Store, Addr: 0x100, Val: 42},
+			trace.Op{Kind: trace.StoreRel, Scope: trace.ScopeSys, Addr: 0x200, Val: 1}).
+		Thread(12,
+			trace.Op{Kind: trace.LoadAcq, Scope: trace.ScopeSys, Addr: 0x200, Gap: 5_000_000},
+			trace.Op{Kind: trace.Load, Addr: 0x100}).
+		Build()
+	res, err := hmg.RunLitmus(cfg, prog, hmg.WithInvariantChecks())
 	if err != nil {
 		log.Fatal(err)
 	}
-	flag, _ := hmg.LitmusValue(obs, 1, 0)
-	data, _ := hmg.LitmusValue(obs, 1, 1)
+	flag, _ := res.Value(1, 0)
+	data, _ := res.Value(1, 1)
 	fmt.Println("flag:", flag, "data:", data)
 	// Output:
 	// flag: 1 data: 42

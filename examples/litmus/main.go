@@ -21,27 +21,21 @@ const (
 func run(p hmg.Protocol, scope trace.Scope, readerSlot int, delay uint32) (flag, data uint64) {
 	cfg := hmg.DefaultConfig(p)
 	cfg.TrackValues = true
-	prog := hmg.LitmusProgram{
-		Name: "mp",
-		Threads: []hmg.LitmusThread{
-			{Slot: 0, Ops: []trace.Op{
-				{Kind: trace.Store, Addr: dataAddr, Val: 42},
-				{Kind: trace.StoreRel, Scope: scope, Addr: flagAddr, Val: 1},
-			}},
-			{Slot: readerSlot, Ops: []trace.Op{
-				{Kind: trace.LoadAcq, Scope: scope, Addr: flagAddr, Gap: delay},
-				{Kind: trace.Load, Addr: dataAddr},
-			}},
-		},
-		Warmup:     []hmg.Addr{dataAddr, flagAddr},
-		WarmupSlot: readerSlot,
-	}
-	obs, _, err := hmg.RunLitmus(cfg, prog)
+	prog := hmg.NewLitmus("mp").
+		Warmup(readerSlot, dataAddr, flagAddr).
+		Thread(0,
+			trace.Op{Kind: trace.Store, Addr: dataAddr, Val: 42},
+			trace.Op{Kind: trace.StoreRel, Scope: scope, Addr: flagAddr, Val: 1}).
+		Thread(readerSlot,
+			trace.Op{Kind: trace.LoadAcq, Scope: scope, Addr: flagAddr, Gap: delay},
+			trace.Op{Kind: trace.Load, Addr: dataAddr}).
+		Build()
+	res, err := hmg.RunLitmus(cfg, prog, hmg.WithInvariantChecks())
 	if err != nil {
 		log.Fatal(err)
 	}
-	flag, _ = hmg.LitmusValue(obs, 1, 0)
-	data, _ = hmg.LitmusValue(obs, 1, 1)
+	flag, _ = res.Value(1, 0)
+	data, _ = res.Value(1, 1)
 	return flag, data
 }
 

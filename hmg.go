@@ -22,6 +22,7 @@ package hmg
 import (
 	"fmt"
 
+	"hmg/internal/check"
 	"hmg/internal/directory"
 	"hmg/internal/gsim"
 	"hmg/internal/proto"
@@ -76,18 +77,125 @@ type Addr = topo.Addr
 // 1.3 GHz) with 8 modeled SMs per GPM.
 func DefaultConfig(p Protocol) Config { return gsim.DefaultConfig(8, p) }
 
+// Event is one simulator protocol event (a store reaching its home, an
+// invalidation delivery, a cache fill, ...). Subscribe with
+// WithEventSink.
+type Event = gsim.Event
+
+// EventKind discriminates events.
+type EventKind = gsim.EventKind
+
+// The event kinds a sink may observe.
+const (
+	EvKernelLaunch  = gsim.EvKernelLaunch
+	EvKernelDrained = gsim.EvKernelDrained
+	EvLoadDone      = gsim.EvLoadDone
+	EvStoreIssue    = gsim.EvStoreIssue
+	EvHomeStore     = gsim.EvHomeStore
+	EvGPUHomeStore  = gsim.EvGPUHomeStore
+	EvAtomicApply   = gsim.EvAtomicApply
+	EvInvDeliver    = gsim.EvInvDeliver
+	EvInvForward    = gsim.EvInvForward
+	EvFill          = gsim.EvFill
+	EvL2Evict       = gsim.EvL2Evict
+	EvAcquire       = gsim.EvAcquire
+)
+
+// Violation is one invariant breach reported by the conformance
+// checker, with the cycle it was detected at and a trail of the events
+// leading up to it.
+type Violation = check.Violation
+
+// Option configures a System at construction time.
+type Option func(*sysOptions)
+
+type sysOptions struct {
+	checks  bool
+	sinks   []func(Event)
+	checker *check.Checker
+}
+
+// WithInvariantChecks attaches the runtime protocol-conformance checker
+// (package internal/check) to the system. Detected violations are
+// available through (*System).Violations after Run; RunLitmus returns
+// them as an error.
+func WithInvariantChecks() Option {
+	return func(o *sysOptions) { o.checks = true }
+}
+
+// WithEventSink subscribes fn to the simulator's protocol event stream.
+// Multiple sinks compose; sinks run synchronously on the simulated
+// cycle the event occurs.
+func WithEventSink(fn func(Event)) Option {
+	return func(o *sysOptions) { o.sinks = append(o.sinks, fn) }
+}
+
+func buildOptions(opts []Option) *sysOptions {
+	o := &sysOptions{}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return o
+}
+
+// apply wires the options into a constructed simulator: event sinks
+// first, then the checker (which chains any existing sink).
+func (o *sysOptions) apply(sys *gsim.System) error {
+	for _, fn := range o.sinks {
+		prev := sys.OnEvent
+		fn := fn
+		if prev == nil {
+			sys.OnEvent = fn
+		} else {
+			sys.OnEvent = func(ev gsim.Event) { prev(ev); fn(ev) }
+		}
+	}
+	if o.checks {
+		o.checker = check.Attach(sys)
+	}
+	return nil
+}
+
 // System is a simulated multi-GPU machine.
 type System struct {
 	sys *gsim.System
+	ck  *check.Checker
 }
 
-// NewSystem builds a system; the configuration is validated.
-func NewSystem(cfg Config) (*System, error) {
+// NewSystem builds a system; the configuration is validated. Options
+// attach optional instrumentation — hmg.NewSystem(cfg) alone builds the
+// plain simulator:
+//
+//	sys, err := hmg.NewSystem(cfg, hmg.WithInvariantChecks(),
+//		hmg.WithEventSink(func(ev hmg.Event) { ... }))
+func NewSystem(cfg Config, opts ...Option) (*System, error) {
 	s, err := gsim.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &System{sys: s}, nil
+	o := buildOptions(opts)
+	if err := o.apply(s); err != nil {
+		return nil, err
+	}
+	return &System{sys: s, ck: o.checker}, nil
+}
+
+// Violations returns the invariant violations detected so far. It is
+// nil unless the system was built with WithInvariantChecks.
+func (s *System) Violations() []Violation {
+	if s.ck == nil {
+		return nil
+	}
+	return s.ck.Violations()
+}
+
+// CheckErr summarizes detected violations as an error (nil when checks
+// are disabled or clean).
+func (s *System) CheckErr() error {
+	if s.ck == nil {
+		return nil
+	}
+	return s.ck.Err()
 }
 
 // Run executes a trace to completion.

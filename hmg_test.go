@@ -173,27 +173,56 @@ func TestSpeedupBaselineCanonical(t *testing.T) {
 
 func TestPublicLitmus(t *testing.T) {
 	cfg := DefaultConfig(ProtocolHMG)
-	prog := LitmusProgram{
-		Name: "mp",
-		Threads: []LitmusThread{
-			{Slot: 0, Ops: []trace.Op{
-				{Kind: trace.Store, Addr: 0x100, Val: 9},
-				{Kind: trace.StoreRel, Scope: trace.ScopeSys, Addr: 0x200, Val: 1},
-			}},
-			{Slot: 8, Ops: []trace.Op{
-				{Kind: trace.LoadAcq, Scope: trace.ScopeSys, Addr: 0x200, Gap: 3_000_000},
-				{Kind: trace.Load, Addr: 0x100},
-			}},
-		},
-	}
-	obs, _, err := RunLitmus(cfg, prog)
+	prog := NewLitmus("mp").
+		Thread(0,
+			trace.Op{Kind: trace.Store, Addr: 0x100, Val: 9},
+			trace.Op{Kind: trace.StoreRel, Scope: trace.ScopeSys, Addr: 0x200, Val: 1}).
+		Thread(8,
+			trace.Op{Kind: trace.LoadAcq, Scope: trace.ScopeSys, Addr: 0x200, Gap: 3_000_000},
+			trace.Op{Kind: trace.Load, Addr: 0x100}).
+		Build()
+	res, err := RunLitmus(cfg, prog, WithInvariantChecks())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if f, ok := LitmusValue(obs, 1, 0); !ok || f != 1 {
+	if f, ok := res.Value(1, 0); !ok || f != 1 {
 		t.Fatalf("flag = %v, %v", f, ok)
 	}
-	if d, ok := LitmusValue(obs, 1, 1); !ok || d != 9 {
+	if d, ok := res.Value(1, 1); !ok || d != 9 {
 		t.Fatalf("data = %v, %v", d, ok)
+	}
+}
+
+func TestNewSystemOptions(t *testing.T) {
+	cfg := LitmusConfig(ProtocolHMG)
+	events := 0
+	sys, err := NewSystem(cfg, WithInvariantChecks(), WithEventSink(func(Event) { events++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := GenerateBenchmark("nw-16K", cfg, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(tr); err != nil {
+		t.Fatal(err)
+	}
+	if events == 0 {
+		t.Fatal("event sink saw no events")
+	}
+	if err := sys.CheckErr(); err != nil {
+		t.Fatalf("invariant violations on trunk: %v", err)
+	}
+	if v := sys.Violations(); len(v) != 0 {
+		t.Fatalf("Violations() = %d, want 0", len(v))
+	}
+
+	// Plain construction must keep working and report nothing.
+	plain, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Violations() != nil || plain.CheckErr() != nil {
+		t.Fatal("plain system should have no checker state")
 	}
 }

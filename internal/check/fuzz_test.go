@@ -1,0 +1,47 @@
+package check
+
+import "testing"
+
+// FuzzLitmus is the conformance fuzzer entry point: every seed expands
+// to a litmus case (CaseFromSeed), runs it on the small conformance
+// machine with the invariant checker attached, and applies the oracle.
+// Any failure — a forbidden outcome, a fabricated value, or an invariant
+// violation — is a protocol bug (or an oracle bug; both are worth a
+// crash artifact).
+//
+//	go test ./internal/check -fuzz=FuzzLitmus -fuzztime=30s
+func FuzzLitmus(f *testing.F) {
+	// The checked-in corpus (testdata/fuzz/FuzzLitmus) plus a spread of
+	// seeds chosen to hit each shape, flat and hierarchical protocols,
+	// synchronized and plain cases.
+	for seed := uint64(0); seed < 32; seed++ {
+		f.Add(seed)
+	}
+	f.Add(uint64(1 << 20))
+	f.Add(uint64(0xdeadbeef))
+	f.Add(^uint64(0))
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		if err := CaseFromSeed(seed).Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestFuzzSeedsSmoke replays a deterministic slice of the seed space in
+// a plain `go test` run, so the fuzzer's property gets exercised even
+// when nobody passes -fuzz.
+func TestFuzzSeedsSmoke(t *testing.T) {
+	n := uint64(96)
+	if testing.Short() {
+		n = 16
+	}
+	for seed := uint64(0); seed < n; seed++ {
+		seed := seed
+		t.Run(CaseFromSeed(seed).Name(), func(t *testing.T) {
+			t.Parallel()
+			if err := CaseFromSeed(seed).Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"hmg/internal/gsim"
+	"hmg/internal/proto"
 	"hmg/internal/topo"
 	"hmg/internal/trace"
 )
@@ -22,7 +23,8 @@ type Thread struct {
 	Ops  []trace.Op
 }
 
-// Program is a single-kernel litmus program.
+// Program is a single-kernel litmus program. Construct one directly or
+// through the New builder.
 type Program struct {
 	Name string
 	// Slots is the number of CTA slots (defaults to the total GPM count
@@ -37,6 +39,50 @@ type Program struct {
 	WarmupSlot int
 }
 
+// Builder assembles a Program fluently:
+//
+//	prog := consist.New("mp").
+//		Thread(0, storeData, releaseFlag).
+//		Thread(3, acquireFlag, loadData).
+//		Build()
+type Builder struct {
+	prog Program
+}
+
+// New starts a program builder.
+func New(name string) *Builder {
+	return &Builder{prog: Program{Name: name}}
+}
+
+// Slots sets the CTA slot count (0 = one slot per GPM).
+func (b *Builder) Slots(n int) *Builder {
+	b.prog.Slots = n
+	return b
+}
+
+// Home places every page the program touches on GPM g.
+func (b *Builder) Home(g topo.GPMID) *Builder {
+	b.prog.HomeGPM = g
+	return b
+}
+
+// Warmup prepends a kernel in which slot loads each address, seeding
+// potentially-stale copies in that slot's caches.
+func (b *Builder) Warmup(slot int, addrs ...topo.Addr) *Builder {
+	b.prog.WarmupSlot = slot
+	b.prog.Warmup = append(b.prog.Warmup, addrs...)
+	return b
+}
+
+// Thread appends a thread running ops on the given CTA slot.
+func (b *Builder) Thread(slot int, ops ...trace.Op) *Builder {
+	b.prog.Threads = append(b.prog.Threads, Thread{Slot: slot, Ops: ops})
+	return b
+}
+
+// Build returns the assembled program.
+func (b *Builder) Build() Program { return b.prog }
+
 // Observation records one load's result.
 type Observation struct {
 	Thread int
@@ -45,13 +91,70 @@ type Observation struct {
 	Value  uint64
 }
 
+// Result holds a completed litmus run: the program, every load
+// observation in completion order, and the simulation results.
+type Result struct {
+	prog Program
+	obs  []Observation
+	res  *gsim.Results
+}
+
+// Observations returns every load observation in completion order.
+func (r *Result) Observations() []Observation { return r.obs }
+
+// Value returns the value thread's op at index op observed, or false if
+// that op never completed a load.
+func (r *Result) Value(thread, op int) (uint64, bool) {
+	for _, o := range r.obs {
+		if o.Thread == thread && o.Index == op {
+			return o.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Results returns the underlying simulation results.
+func (r *Result) Results() *gsim.Results { return r.res }
+
+// Program returns the program that produced this result.
+func (r *Result) Program() Program { return r.prog }
+
+// SmallConfig is the conformance-testing configuration: a 2 GPU × 2 GPM
+// × 2 SM system with small caches and a small directory (so capacity
+// evictions actually happen in short programs), value tracking on. The
+// litmus suites, fuzzer, and mutation tests all run on it.
+func SmallConfig(k proto.Kind) gsim.Config {
+	cfg := gsim.DefaultConfig(2, k)
+	cfg.Topo = topo.Topology{
+		NumGPUs: 2, GPMsPerGPU: 2, SMsPerGPM: 2,
+		LineSize: 128, PageSize: 4096,
+	}
+	cfg.DRAM.BandwidthGBs = 250
+	cfg.DRAM.Latency = 100
+	cfg.L1.CapacityBytes = 8 * 1024
+	cfg.L1.Ways = 4
+	cfg.L2Slice.CapacityBytes = 64 * 1024
+	cfg.L2Slice.Ways = 8
+	cfg.Dir.Entries = 256
+	cfg.Dir.Ways = 8
+	cfg.Dir.GranLines = 4
+	cfg.L1Latency = 10
+	cfg.L2Latency = 30
+	cfg.MaxWarpInflight = 4
+	cfg.MaxSMInflight = 16
+	cfg.TrackValues = true
+	return cfg
+}
+
 // Run executes the program under the configuration (value tracking is
-// forced on) and returns all load observations in completion order.
-func Run(cfg gsim.Config, prog Program) ([]Observation, *gsim.Results, error) {
+// forced on) and returns the collected result. Each hook is invoked on
+// the constructed system before execution — the conformance harness
+// uses this to attach its invariant checker.
+func Run(cfg gsim.Config, prog Program, hooks ...func(*gsim.System)) (*Result, error) {
 	cfg.TrackValues = true
 	sys, err := gsim.New(cfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	slots := prog.Slots
 	if slots == 0 {
@@ -68,19 +171,11 @@ func Run(cfg gsim.Config, prog Program) ([]Observation, *gsim.Results, error) {
 		tr.Kernels = append(tr.Kernels, k)
 	}
 	main := trace.Kernel{CTAs: make([]trace.CTA, slots)}
-	type key struct{ slot, warp, idx int }
-	owners := make(map[key]int) // op position → thread id
-	warpOf := make(map[int]int) // thread → warp index within its CTA
 	for ti, th := range prog.Threads {
 		if th.Slot < 0 || th.Slot >= slots {
-			return nil, nil, fmt.Errorf("consist: thread %d slot %d out of range", ti, th.Slot)
+			return nil, fmt.Errorf("consist: thread %d slot %d out of range", ti, th.Slot)
 		}
-		w := len(main.CTAs[th.Slot].Warps)
-		warpOf[ti] = w
 		main.CTAs[th.Slot].Warps = append(main.CTAs[th.Slot].Warps, trace.Warp{Ops: th.Ops})
-		for oi := range th.Ops {
-			owners[key{th.Slot, w, oi}] = ti
-		}
 	}
 	tr.Kernels = append(tr.Kernels, main)
 	// Place every touched page on the home GPM.
@@ -98,9 +193,9 @@ func Run(cfg gsim.Config, prog Program) ([]Observation, *gsim.Results, error) {
 			}
 		}
 	}
-	// Match observations back to threads: track per-(slot,warp) progress
+	// Match observations back to threads: track per-thread progress
 	// through load ops.
-	var obs []Observation
+	r := &Result{prog: prog}
 	progress := make(map[int]int) // thread → next load-op cursor
 	sys.OnLoadValue = func(smID topo.SMID, op trace.Op, v uint64) {
 		// Identify the thread by matching the op identity: the same SM
@@ -118,7 +213,7 @@ func Run(cfg gsim.Config, prog Program) ([]Observation, *gsim.Results, error) {
 					continue
 				}
 				if o.Kind == op.Kind && o.Scope == op.Scope && o.Addr == op.Addr {
-					obs = append(obs, Observation{Thread: ti, Index: oi, Op: op, Value: v})
+					r.obs = append(r.obs, Observation{Thread: ti, Index: oi, Op: op, Value: v})
 					progress[ti] = oi + 1
 					return
 				}
@@ -126,22 +221,15 @@ func Run(cfg gsim.Config, prog Program) ([]Observation, *gsim.Results, error) {
 			}
 		}
 	}
+	for _, h := range hooks {
+		h(sys)
+	}
 	res, err := sys.Run(tr)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return obs, res, nil
-}
-
-// Value returns the observed value of thread ti's op at index oi, or
-// false if it was never observed.
-func Value(obs []Observation, ti, oi int) (uint64, bool) {
-	for _, o := range obs {
-		if o.Thread == ti && o.Index == oi {
-			return o.Value, true
-		}
-	}
-	return 0, false
+	r.res = res
+	return r, nil
 }
 
 // WrittenValues extracts every value any thread stores to addr

@@ -4,38 +4,11 @@ import (
 	"math/rand"
 	"testing"
 
-	"hmg/internal/cache"
-	"hmg/internal/directory"
-	"hmg/internal/engine"
 	"hmg/internal/gsim"
-	"hmg/internal/link"
-	"hmg/internal/memory"
 	"hmg/internal/proto"
 	"hmg/internal/topo"
 	"hmg/internal/trace"
 )
-
-func litmusConfig(k proto.Kind) gsim.Config {
-	return gsim.Config{
-		Topo: topo.Topology{
-			NumGPUs: 2, GPMsPerGPU: 2, SMsPerGPM: 2,
-			LineSize: 128, PageSize: 4096,
-		},
-		Net:             link.DefaultNetConfig(),
-		DRAM:            memory.Config{BandwidthGBs: 250, Latency: 100, LineSize: 128},
-		L1:              cache.Config{CapacityBytes: 8 * 1024, LineSize: 128, Ways: 4},
-		L2Slice:         cache.Config{CapacityBytes: 64 * 1024, LineSize: 128, Ways: 8},
-		Dir:             directory.Config{Entries: 256, Ways: 8, GranLines: 4},
-		Policy:          proto.For(k),
-		Placement:       topo.FirstTouch,
-		FrequencyHz:     engine.DefaultFrequencyHz,
-		L1Latency:       10,
-		L2Latency:       30,
-		MaxWarpInflight: 4,
-		MaxSMInflight:   16,
-		TrackValues:     true,
-	}
-}
 
 func coherent() []proto.Kind {
 	return []proto.Kind{proto.NoRemoteCache, proto.SWNonHier, proto.SWHier, proto.NHCC, proto.HMG}
@@ -54,30 +27,24 @@ func TestMessagePassingLitmus(t *testing.T) {
 			{trace.ScopeGPU, 1}, // same-GPU reader
 			{trace.ScopeSys, 3}, // other-GPU reader
 		} {
-			prog := Program{
-				Name: "mp",
-				Threads: []Thread{
-					{Slot: 0, Ops: []trace.Op{
-						{Kind: trace.Store, Addr: data, Val: 42},
-						{Kind: trace.StoreRel, Scope: tc.scope, Addr: flag, Val: 1},
-					}},
-					{Slot: tc.reader, Ops: []trace.Op{
-						{Kind: trace.LoadAcq, Scope: tc.scope, Addr: flag, Gap: 2_000_000},
-						{Kind: trace.Load, Addr: data},
-					}},
-				},
-				Warmup:     []topo.Addr{data, flag},
-				WarmupSlot: tc.reader,
-			}
-			obs, _, err := Run(litmusConfig(k), prog)
+			prog := New("mp").
+				Thread(0,
+					trace.Op{Kind: trace.Store, Addr: data, Val: 42},
+					trace.Op{Kind: trace.StoreRel, Scope: tc.scope, Addr: flag, Val: 1}).
+				Thread(tc.reader,
+					trace.Op{Kind: trace.LoadAcq, Scope: tc.scope, Addr: flag, Gap: 2_000_000},
+					trace.Op{Kind: trace.Load, Addr: data}).
+				Warmup(tc.reader, data, flag).
+				Build()
+			r, err := Run(SmallConfig(k), prog)
 			if err != nil {
 				t.Fatalf("%v/%v: %v", k, tc.scope, err)
 			}
-			f, ok := Value(obs, 1, 0)
+			f, ok := r.Value(1, 0)
 			if !ok || f != 1 {
 				t.Fatalf("%v/%v: flag = %d (observed %v), want 1", k, tc.scope, f, ok)
 			}
-			d, ok := Value(obs, 1, 1)
+			d, ok := r.Value(1, 1)
 			if !ok || d != 42 {
 				t.Fatalf("%v/%v: data after acquire = %d, want 42", k, tc.scope, d)
 			}
@@ -93,20 +60,16 @@ func TestMessagePassingLitmus(t *testing.T) {
 func TestStaleReadAllowed(t *testing.T) {
 	const addr = 0x300
 	for _, k := range coherent() {
-		prog := Program{
-			Name: "stale",
-			Threads: []Thread{
-				{Slot: 0, Ops: []trace.Op{{Kind: trace.Store, Addr: addr, Val: 7}}},
-				{Slot: 3, Ops: []trace.Op{{Kind: trace.Load, Addr: addr}}},
-			},
-			Warmup:     []topo.Addr{addr},
-			WarmupSlot: 3,
-		}
-		obs, _, err := Run(litmusConfig(k), prog)
+		prog := New("stale").
+			Thread(0, trace.Op{Kind: trace.Store, Addr: addr, Val: 7}).
+			Thread(3, trace.Op{Kind: trace.Load, Addr: addr}).
+			Warmup(3, addr).
+			Build()
+		r, err := Run(SmallConfig(k), prog)
 		if err != nil {
 			t.Fatal(err)
 		}
-		v, ok := Value(obs, 1, 0)
+		v, ok := r.Value(1, 0)
 		if !ok {
 			t.Fatalf("%v: load unobserved", k)
 		}
@@ -121,21 +84,20 @@ func TestStaleReadAllowed(t *testing.T) {
 func TestAtomicSumLitmus(t *testing.T) {
 	const addr = 0x400
 	for _, k := range coherent() {
-		var threads []Thread
+		b := New("atomsum").Home(2)
 		for slot := 0; slot < 4; slot++ {
 			var ops []trace.Op
 			for i := 0; i < 6; i++ {
 				ops = append(ops, trace.Op{Kind: trace.Atomic, Scope: trace.ScopeSys, Addr: addr, Val: 1})
 			}
-			threads = append(threads, Thread{Slot: slot, Ops: ops})
+			b.Thread(slot, ops...)
 		}
-		prog := Program{Name: "atomsum", Threads: threads, HomeGPM: 2}
-		_, res, err := Run(litmusConfig(k), prog)
+		r, err := Run(SmallConfig(k), b.Build())
 		if err != nil {
 			t.Fatal(err)
 		}
-		if res.Atomics != 24 {
-			t.Fatalf("%v: ran %d atomics, want 24", k, res.Atomics)
+		if r.Results().Atomics != 24 {
+			t.Fatalf("%v: ran %d atomics, want 24", k, r.Results().Atomics)
 		}
 	}
 }
@@ -148,7 +110,7 @@ func TestRandomizedNoFabrication(t *testing.T) {
 		t.Run(k.String(), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(k) + 99))
 			addrs := []topo.Addr{0x100, 0x180, 0x200, 0x1000, 0x2000}
-			var threads []Thread
+			b := New("rand")
 			val := uint64(1)
 			for slot := 0; slot < 4; slot++ {
 				var ops []trace.Op
@@ -161,10 +123,10 @@ func TestRandomizedNoFabrication(t *testing.T) {
 						val++
 					}
 				}
-				threads = append(threads, Thread{Slot: slot, Ops: ops})
+				b.Thread(slot, ops...)
 			}
-			prog := Program{Name: "rand", Threads: threads}
-			obs, _, err := Run(litmusConfig(k), prog)
+			prog := b.Build()
+			r, err := Run(SmallConfig(k), prog)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -172,7 +134,7 @@ func TestRandomizedNoFabrication(t *testing.T) {
 			for _, a := range addrs {
 				legal[a] = WrittenValues(prog, a)
 			}
-			for _, o := range obs {
+			for _, o := range r.Observations() {
 				if !legal[o.Op.Addr][o.Value] {
 					t.Fatalf("load of %#x observed fabricated value %d", uint64(o.Op.Addr), o.Value)
 				}
@@ -183,9 +145,25 @@ func TestRandomizedNoFabrication(t *testing.T) {
 
 // TestRunRejectsBadSlot: out-of-range slots error cleanly.
 func TestRunRejectsBadSlot(t *testing.T) {
-	prog := Program{Name: "bad", Threads: []Thread{{Slot: 99, Ops: []trace.Op{{Kind: trace.Load, Addr: 0}}}}}
-	if _, _, err := Run(litmusConfig(proto.HMG), prog); err == nil {
+	prog := New("bad").Thread(99, trace.Op{Kind: trace.Load, Addr: 0}).Build()
+	if _, err := Run(SmallConfig(proto.HMG), prog); err == nil {
 		t.Fatal("bad slot accepted")
+	}
+}
+
+// TestRunHooksSeeSystem: hooks passed to Run receive the constructed
+// system before execution and can attach event sinks.
+func TestRunHooksSeeSystem(t *testing.T) {
+	prog := New("hook").Thread(0, trace.Op{Kind: trace.Load, Addr: 0x100}).Build()
+	events := 0
+	_, err := Run(SmallConfig(proto.HMG), prog, func(sys *gsim.System) {
+		sys.OnEvent = func(gsim.Event) { events++ }
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events == 0 {
+		t.Fatal("hook-attached event sink saw no events")
 	}
 }
 
@@ -198,31 +176,25 @@ func TestGPMScopeLitmus(t *testing.T) {
 	for _, k := range coherent() {
 		k := k
 		t.Run(k.String(), func(t *testing.T) {
-			// Eight slots on four GPMs: slots 0 and 1 share GPM 0.
-			prog := Program{
-				Name:  "gpm-mp",
-				Slots: 8,
-				Threads: []Thread{
-					{Slot: 0, Ops: []trace.Op{
-						{Kind: trace.Store, Addr: data, Val: 33},
-						{Kind: trace.StoreRel, Scope: trace.ScopeGPM, Addr: flag, Val: 1},
-					}},
-					{Slot: 1, Ops: []trace.Op{
-						{Kind: trace.LoadAcq, Scope: trace.ScopeGPM, Addr: flag, Gap: 2_000_000},
-						{Kind: trace.Load, Addr: data},
-					}},
-				},
-				HomeGPM: 3, // data lives on the other GPU
-			}
-			obs, _, err := Run(litmusConfig(k), prog)
+			// Eight slots on four GPMs: slots 0 and 1 share GPM 0. Data
+			// lives on the other GPU (home GPM 3).
+			prog := New("gpm-mp").Slots(8).Home(3).
+				Thread(0,
+					trace.Op{Kind: trace.Store, Addr: data, Val: 33},
+					trace.Op{Kind: trace.StoreRel, Scope: trace.ScopeGPM, Addr: flag, Val: 1}).
+				Thread(1,
+					trace.Op{Kind: trace.LoadAcq, Scope: trace.ScopeGPM, Addr: flag, Gap: 2_000_000},
+					trace.Op{Kind: trace.Load, Addr: data}).
+				Build()
+			r, err := Run(SmallConfig(k), prog)
 			if err != nil {
 				t.Fatal(err)
 			}
-			f, ok := Value(obs, 1, 0)
+			f, ok := r.Value(1, 0)
 			if !ok || f != 1 {
 				t.Fatalf("late .gpm acquire read flag %d (ok=%v), want 1", f, ok)
 			}
-			d, ok := Value(obs, 1, 1)
+			d, ok := r.Value(1, 1)
 			if !ok || d != 33 {
 				t.Fatalf("data after .gpm acquire = %d, want 33", d)
 			}
@@ -234,21 +206,20 @@ func TestGPMScopeLitmus(t *testing.T) {
 // GPM serialize at the local slice.
 func TestGPMAtomicsSerializeWithinGPM(t *testing.T) {
 	const addr = 0x700
-	var threads []Thread
+	b := New("gpm-atom").Slots(8).Home(3)
 	for slot := 0; slot < 2; slot++ { // both on GPM 0 (8 slots, 4 GPMs)
 		var ops []trace.Op
 		for i := 0; i < 5; i++ {
 			ops = append(ops, trace.Op{Kind: trace.Atomic, Scope: trace.ScopeGPM, Addr: addr, Val: 1})
 		}
-		threads = append(threads, Thread{Slot: slot, Ops: ops})
+		b.Thread(slot, ops...)
 	}
-	prog := Program{Name: "gpm-atom", Slots: 8, Threads: threads, HomeGPM: 3}
-	_, res, err := Run(litmusConfig(proto.HMG), prog)
+	r, err := Run(SmallConfig(proto.HMG), b.Build())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Atomics != 10 {
-		t.Fatalf("atomics = %d, want 10", res.Atomics)
+	if r.Results().Atomics != 10 {
+		t.Fatalf("atomics = %d, want 10", r.Results().Atomics)
 	}
 	// The final value reaches the home DRAM via the write-throughs; the
 	// last write-through carries the serialized sum.
@@ -266,36 +237,30 @@ func TestIRIWNonMultiCopyAtomicity(t *testing.T) {
 	for _, k := range []proto.Kind{proto.NHCC, proto.HMG} {
 		sawSplit := false
 		for _, d := range []uint32{0, 500, 1500, 4000, 9000} {
-			prog := Program{
-				Name: "iriw",
-				Threads: []Thread{
-					{Slot: 0, Ops: []trace.Op{{Kind: trace.Store, Addr: x, Val: 1}}},
-					{Slot: 3, Ops: []trace.Op{{Kind: trace.Store, Addr: y, Val: 1}}},
-					{Slot: 1, Ops: []trace.Op{
-						{Kind: trace.Load, Addr: x, Gap: d},
-						{Kind: trace.Load, Addr: y},
-					}},
-					{Slot: 2, Ops: []trace.Op{
-						{Kind: trace.Load, Addr: y, Gap: d},
-						{Kind: trace.Load, Addr: x},
-					}},
-				},
-				Warmup:     []topo.Addr{x, y},
-				WarmupSlot: 1,
-			}
-			obs, _, err := Run(litmusConfig(k), prog)
+			prog := New("iriw").
+				Thread(0, trace.Op{Kind: trace.Store, Addr: x, Val: 1}).
+				Thread(3, trace.Op{Kind: trace.Store, Addr: y, Val: 1}).
+				Thread(1,
+					trace.Op{Kind: trace.Load, Addr: x, Gap: d},
+					trace.Op{Kind: trace.Load, Addr: y}).
+				Thread(2,
+					trace.Op{Kind: trace.Load, Addr: y, Gap: d},
+					trace.Op{Kind: trace.Load, Addr: x}).
+				Warmup(1, x, y).
+				Build()
+			r, err := Run(SmallConfig(k), prog)
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, o := range obs {
+			for _, o := range r.Observations() {
 				if o.Value != 0 && o.Value != 1 {
 					t.Fatalf("fabricated value %d", o.Value)
 				}
 			}
-			r1x, _ := Value(obs, 2, 0)
-			r1y, _ := Value(obs, 2, 1)
-			r2y, _ := Value(obs, 3, 0)
-			r2x, _ := Value(obs, 3, 1)
+			r1x, _ := r.Value(2, 0)
+			r1y, _ := r.Value(2, 1)
+			r2y, _ := r.Value(3, 0)
+			r2x, _ := r.Value(3, 1)
 			if r1x == 1 && r1y == 0 && r2y == 1 && r2x == 0 {
 				sawSplit = true
 			}
@@ -341,21 +306,18 @@ func TestCausalityChain(t *testing.T) {
 						rops = append(rops, trace.Op{Kind: trace.Load, Addr: a})
 					}
 				}
-				prog := Program{
-					Name: "causal",
-					Threads: []Thread{
-						{Slot: 0, Ops: wops},
-						{Slot: tc.reader, Ops: rops},
-					},
-					HomeGPM: topo.GPMID(rng.Intn(4)),
-				}
-				obs, _, err := Run(litmusConfig(k), prog)
+				prog := New("causal").
+					Home(topo.GPMID(rng.Intn(4))).
+					Thread(0, wops...).
+					Thread(tc.reader, rops...).
+					Build()
+				r, err := Run(SmallConfig(k), prog)
 				if err != nil {
 					t.Fatal(err)
 				}
 				// Replay the reader's observations in order.
 				var lastFlag uint64
-				for _, o := range obs {
+				for _, o := range r.Observations() {
 					if o.Thread != 1 {
 						continue
 					}

@@ -269,6 +269,10 @@ func (s *System) fillL2(g topo.GPMID, line topo.Line, fill fillData, allowed boo
 	if s.Cfg.TrackValues {
 		e.MergeFrom(fill)
 	}
+	s.emit(Event{Kind: EvFill, GPM: g, SM: NoSM, Line: line})
+	if victim != nil {
+		s.emit(Event{Kind: EvL2Evict, GPM: g, SM: NoSM, Line: victim.Line})
+	}
 	switch {
 	case victim == nil:
 	case victim.Dirty && s.Cfg.WriteBack:
@@ -313,6 +317,8 @@ func (sm *SM) startStore(op trace.Op) {
 	word := cache.WordOf(op.Addr, s.Cfg.Topo.LineSize)
 	sm.gpuHomeGate.Start()
 	sm.sysHomeGate.Start()
+	s.emit(Event{Kind: EvStoreIssue, GPM: sm.gpm, SM: sm.id, Line: line,
+		Addr: op.Addr, Scope: op.Scope, Op: op.Kind, Val: op.Val})
 	// Update any L1 copy in place (write-through, no allocate).
 	if s.Cfg.TrackValues {
 		if e, hit := sm.L1.Peek(line); hit {
@@ -403,6 +409,8 @@ func (s *System) gpuHomeStore(h, fromGPM topo.GPMID, op trace.Op, line topo.Line
 		} else {
 			gpm.poisonLine(line)
 		}
+		s.emit(Event{Kind: EvGPUHomeStore, GPM: h, SM: NoSM, Line: line,
+			Addr: op.Addr, Scope: op.Scope, Op: op.Kind, Val: op.Val})
 		onGPU()
 		s.send(h, sysHome, msg.StoreReq, func() {
 			s.sysHomeStore(sysHome, proto.GPURequester(int(gpm.gpu)), false, op, line, word, nil, onSys)
@@ -449,6 +457,8 @@ func (s *System) sysHomeStore(sh topo.GPMID, req proto.Requester, local bool, op
 			gpm.DRAM.StoreValue(op.Addr, op.Val)
 		}
 		gpm.DRAM.Write(s.Cfg.Net.Sizes.StorePayload, nil)
+		s.emit(Event{Kind: EvHomeStore, GPM: sh, SM: NoSM, Line: line,
+			Addr: op.Addr, Scope: op.Scope, Op: op.Kind, Val: op.Val})
 		if onGPU != nil {
 			onGPU()
 		}
@@ -500,6 +510,7 @@ func (s *System) sendInvs(from *GPM, region directory.Region, targets []proto.In
 			d := s.gpmOf(dest)
 			d.L2.InvalidateRegion(line, gran)
 			d.poisonRegion(line, gran)
+			s.emit(Event{Kind: EvInvDeliver, GPM: dest, SM: NoSM, Line: line, Aux: gran})
 			if !forward || d.Dir == nil {
 				finish()
 				return
@@ -509,12 +520,14 @@ func (s *System) sendInvs(from *GPM, region directory.Region, targets []proto.In
 				finish()
 				return
 			}
+			s.emit(Event{Kind: EvInvForward, GPM: dest, SM: NoSM, Line: line, Aux: len(fw)})
 			remaining := len(fw)
 			for _, ft := range fw {
 				dest2 := s.Cfg.Topo.GPM(d.gpu, ft.ID)
 				s.send(dest, dest2, msg.Inv, func() {
 					s.gpmOf(dest2).L2.InvalidateRegion(line, gran)
 					s.gpmOf(dest2).poisonRegion(line, gran)
+					s.emit(Event{Kind: EvInvDeliver, GPM: dest2, SM: NoSM, Line: line, Aux: gran})
 					remaining--
 					if remaining == 0 {
 						finish()
@@ -550,6 +563,7 @@ func (s *System) sendInvsAcked(from *GPM, region directory.Region, targets []pro
 			d := s.gpmOf(dest)
 			d.L2.InvalidateRegion(line, gran)
 			d.poisonRegion(line, gran)
+			s.emit(Event{Kind: EvInvDeliver, GPM: dest, SM: NoSM, Line: line, Aux: gran})
 			s.send(dest, from.id, msg.InvAck, func() {
 				pending--
 				if pending == 0 {
@@ -650,6 +664,8 @@ func (s *System) atomicAtGPUHome(sm *SM, h topo.GPMID, op trace.Op, line topo.Li
 					}
 					e.SetValue(word, newVal)
 				}
+				s.emit(Event{Kind: EvAtomicApply, GPM: h, SM: NoSM, Line: line,
+					Addr: op.Addr, Scope: op.Scope, Op: op.Kind, Val: newVal})
 				gpm.unlockLine(line)
 				onGPU()
 				// Reply to the requester and write the result through.
@@ -713,6 +729,8 @@ func (s *System) atomicAtSysHome(sm *SM, sh topo.GPMID, op trace.Op, line topo.L
 					gpm.DRAM.StoreValue(op.Addr, old+delta)
 				}
 				gpm.DRAM.Write(s.Cfg.Net.Sizes.StorePayload, nil)
+				s.emit(Event{Kind: EvAtomicApply, GPM: sh, SM: NoSM, Line: line,
+					Addr: op.Addr, Scope: op.Scope, Op: op.Kind, Val: old + delta})
 				gpm.unlockLine(line)
 				onGPU()
 				onSys()
@@ -813,6 +831,8 @@ func (s *System) sysHomeStoreMCA(sh topo.GPMID, req proto.Requester, local bool,
 					gpm.DRAM.StoreValue(op.Addr, op.Val)
 				}
 				gpm.DRAM.Write(s.Cfg.Net.Sizes.StorePayload, nil)
+				s.emit(Event{Kind: EvHomeStore, GPM: sh, SM: NoSM, Line: line,
+					Addr: op.Addr, Scope: op.Scope, Op: op.Kind, Val: op.Val})
 				gpm.unlockLine(line)
 				if onGPU != nil {
 					onGPU()

@@ -57,6 +57,11 @@ type Config struct {
 	// Synchronizing stores always write through, as required for forward
 	// progress.
 	WriteBack bool
+	// Mutation deliberately breaks Table I transitions in the directory
+	// controllers — a test-only knob the conformance harness uses to
+	// prove its invariant checker and litmus fuzzer detect protocol
+	// bugs. Zero (no mutation) in every production configuration.
+	Mutation proto.Mutation
 }
 
 // DefaultConfig returns the paper's Table II system: 4 GPUs × 4 GPMs,

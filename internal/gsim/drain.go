@@ -58,3 +58,30 @@ func (d *drain) Wait(fn func()) {
 
 // Pending returns the number of outstanding operations.
 func (d *drain) Pending() uint64 { return d.started - d.finished }
+
+// PendingDrains reports the system-wide outstanding posted stores (SM
+// store gates toward the system home) and background invalidations
+// (directory invAll gates). Both must be zero at a drained kernel
+// boundary — the quiescence invariant the conformance checker asserts
+// on every EvKernelDrained event.
+func (s *System) PendingDrains() (stores, invs uint64) {
+	for _, sm := range s.SMs {
+		stores += sm.sysHomeGate.Pending()
+	}
+	for _, g := range s.GPMs {
+		invs += g.invAll.Pending()
+	}
+	return stores, invs
+}
+
+// OutstandingFetches counts in-flight line fetches across all GPM
+// MSHRs. Every fetch is tied to a load or atomic that must complete
+// before its warp retires, so this too must be zero at a drained
+// kernel boundary.
+func (s *System) OutstandingFetches() int {
+	n := 0
+	for _, g := range s.GPMs {
+		n += len(g.mshr)
+	}
+	return n
+}

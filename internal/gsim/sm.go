@@ -115,6 +115,9 @@ func (w *warpCtx) issue(op trace.Op) {
 		if sys.OnLoadValue != nil {
 			sys.OnLoadValue(sm.id, op, v)
 		}
+		sys.emit(Event{Kind: EvLoadDone, GPM: sm.gpm, SM: sm.id,
+			Line: sys.Cfg.Topo.LineOf(op.Addr), Addr: op.Addr,
+			Scope: op.Scope, Op: op.Kind, Val: v})
 	}
 	switch op.Kind {
 	case trace.Load:
@@ -166,6 +169,7 @@ func (w *warpCtx) issue(op trace.Op) {
 // the refetch traffic they cause.
 func (sm *SM) acquireInvalidate(scope trace.Scope) {
 	p := sm.sys.Cfg.Policy
+	sm.sys.emit(Event{Kind: EvAcquire, GPM: sm.gpm, SM: sm.id, Scope: scope, Op: trace.LoadAcq})
 	if scope <= trace.ScopeCTA {
 		return // .cta acquires synchronize through the L1 itself
 	}

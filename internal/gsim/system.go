@@ -145,6 +145,10 @@ type System struct {
 	OnLoadValue func(sm topo.SMID, op trace.Op, val uint64)
 	// OnWarpFinished, when set, observes warp completion times.
 	OnWarpFinished func(at engine.Cycle)
+	// OnEvent, when set, receives every protocol-visible event (see
+	// EventKind). Sinks observe only — they must not mutate simulator
+	// state — so attaching one cannot perturb timing or results.
+	OnEvent func(Event)
 
 	// counters for results not covered by component stats
 	ops, loads, stores, atomics uint64
@@ -181,6 +185,7 @@ func New(cfg Config) (*System, error) {
 		}
 		if cfg.Policy.Hardware {
 			gpm.Dir = proto.NewDirCtrl(cfg.Dir)
+			gpm.Dir.Mutate = cfg.Mutation
 		}
 		if cfg.Policy.Classify {
 			gpm.classes = make(map[directory.Region]classEntry)
@@ -223,6 +228,7 @@ func (s *System) Run(tr *trace.Trace) (*Results, error) {
 	var kernelCycles []engine.Cycle
 	for ki := range tr.Kernels {
 		start := s.Eng.Now()
+		s.emit(Event{Kind: EvKernelLaunch, SM: NoSM, Aux: ki})
 		s.launchKernel(&tr.Kernels[ki])
 		finished := false
 		s.kernelDone = func() { finished = true; s.Eng.Stop() }
@@ -233,6 +239,10 @@ func (s *System) Run(tr *trace.Trace) (*Results, error) {
 			return nil, fmt.Errorf("gsim: kernel %d of %s deadlocked at cycle %d with %d warps left",
 				ki, tr.Name, s.Eng.Now(), s.warpsLeft)
 		}
+		// The quiescent point: warps done, stores at their system homes,
+		// invalidations delivered. The conformance checker scans global
+		// state on this event.
+		s.emit(Event{Kind: EvKernelDrained, SM: NoSM, Aux: ki})
 		kernelCycles = append(kernelCycles, s.Eng.Now()-start)
 	}
 	res := s.collectResults(tr)

@@ -90,7 +90,7 @@ func ParseKind(s string) (Kind, error) {
 			return Kind(i), nil
 		}
 	}
-	return 0, fmt.Errorf("proto: unknown protocol %q", s)
+	return 0, fmt.Errorf("proto: unknown protocol %q (known: %v)", s, kindNames)
 }
 
 // Policy is the behavioral decomposition of a Kind, consumed by the L2

@@ -35,6 +35,28 @@ type InvTarget struct {
 	ID    int
 }
 
+// Mutation is a bitset of deliberate Table I transition bugs. The
+// conformance harness (internal/check) enables these to prove its
+// invariant checker and litmus oracle actually detect protocol
+// violations; production configurations always run with zero.
+type Mutation uint8
+
+const (
+	// MutDropStoreInv makes remote and local stores clear the sharer
+	// set without sending the invalidations — remote copies survive,
+	// untracked and stale.
+	MutDropStoreInv Mutation = 1 << iota
+	// MutDropInvForward makes an HMG GPU home node drop its entry on a
+	// system-home invalidation without forwarding to its GPM sharers.
+	MutDropInvForward
+	// MutDropEvictInv makes directory entry replacement silently forget
+	// the victim's sharers instead of invalidating them.
+	MutDropEvictInv
+)
+
+// Has reports whether mutation bit m is set.
+func (mu Mutation) Has(m Mutation) bool { return mu&m != 0 }
+
 // DirCtrl wraps a directory with the NHCC/HMG transition table (paper
 // Table I). All methods return the invalidation targets the caller must
 // send; the directory itself never generates traffic.
@@ -46,6 +68,10 @@ type InvTarget struct {
 //	V     | -        | inv all sharers, →I  | add s to sharers | add s, inv other sharers           | inv all sharers, →I | forward inv to all sharers, →I
 type DirCtrl struct {
 	Dir *directory.Dir
+
+	// Mutate injects deliberate transition bugs (test-only; see
+	// Mutation).
+	Mutate Mutation
 
 	// Stats for the Fig. 9/10 profiles.
 	StoresSeen       uint64 // remote/local stores consulting the directory
@@ -97,6 +123,9 @@ func (c *DirCtrl) RemoteStore(l topo.Line, s Requester) (inv []InvTarget, evictR
 		c.InvMsgsByStores += uint64(len(inv))
 		c.LinesInvByStores += uint64(len(inv) * c.Dir.Config().GranLines)
 	}
+	if c.Mutate.Has(MutDropStoreInv) {
+		inv = nil
+	}
 	evictRegion, evictTargets = c.evictTargets(victim)
 	return inv, evictRegion, evictTargets
 }
@@ -119,6 +148,9 @@ func (c *DirCtrl) LocalStore(l topo.Line) []InvTarget {
 		c.InvMsgsByStores += uint64(len(inv))
 		c.LinesInvByStores += uint64(len(inv) * c.Dir.Config().GranLines)
 	}
+	if c.Mutate.Has(MutDropStoreInv) {
+		return nil
+	}
 	return inv
 }
 
@@ -132,6 +164,9 @@ func (c *DirCtrl) Invalidation(r directory.Region) []InvTarget {
 	}
 	inv := targetsOf(e.Sharers)
 	c.Dir.Drop(r)
+	if c.Mutate.Has(MutDropInvForward) {
+		return nil
+	}
 	c.InvMsgsForwarded += uint64(len(inv))
 	return inv
 }
@@ -147,6 +182,9 @@ func (c *DirCtrl) DropSharer(l topo.Line, s Requester) {
 
 func (c *DirCtrl) evictTargets(victim *directory.Entry) (directory.Region, []InvTarget) {
 	if victim == nil {
+		return 0, nil
+	}
+	if c.Mutate.Has(MutDropEvictInv) {
 		return 0, nil
 	}
 	inv := targetsOf(victim.Sharers)

@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
-# Repo verification: build, vet, full tests, and a race-detector tier.
+# Repo verification: build, vet, full tests, a race-detector tier, and a
+# protocol conformance tier.
 #
 # The race tier runs the whole module at -short scale (the experiment
 # suites are ~10x slower under -race) plus the full experiments package,
 # which carries the concurrent campaign runner and must stay race-clean
 # at full scale.
+#
+# The conformance tier runs the hmgcheck sweep (seeded litmus cases plus
+# the benchmark suite under every protocol with the invariant checker
+# attached) and a short burst of coverage-guided litmus fuzzing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,5 +27,11 @@ go test -race -short ./...
 
 echo "== go test -race (full, experiments)"
 go test -race ./internal/experiments/...
+
+echo "== conformance sweep (hmgcheck)"
+go run ./cmd/hmgcheck -seeds 64 -scale 0.1
+
+echo "== litmus fuzz smoke"
+go test ./internal/check -fuzz=FuzzLitmus -fuzztime=10s
 
 echo "verify OK"
