@@ -225,3 +225,76 @@ func TestHmgbenchJobsDeterminism(t *testing.T) {
 		t.Fatalf("-jobs 8 output differs from -jobs 1:\n--- jobs=1\n%s\n--- jobs=8\n%s", serial, parallel)
 	}
 }
+
+// TestHmglintFlow drives the linter through its exit-code contract:
+// a clean module exits 0, an injected violation exits nonzero with the
+// finding on the output, and an unknown analyzer name lists the known
+// set (mirroring the registry errors of the other tools).
+func TestHmglintFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI build in -short mode")
+	}
+	bin := build(t, "cmd/hmglint")
+
+	// A tiny module using the simulator package names, once clean and
+	// once with a wall-clock read injected into the engine package.
+	writeModule := func(engineSrc string) string {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module probe\n\ngo 1.22\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Join(dir, "engine"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "engine", "engine.go"), []byte(engineSrc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	runIn := func(dir string, args ...string) (string, error) {
+		cmd := exec.Command(bin, args...)
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+
+	clean := writeModule("package engine\n\nfunc Tick(now uint64) uint64 { return now + 1 }\n")
+	if out, err := runIn(clean, "./..."); err != nil {
+		t.Fatalf("hmglint on a clean module: %v\n%s", err, out)
+	}
+
+	dirty := writeModule("package engine\n\nimport \"time\"\n\nfunc Tick() int64 { return time.Now().UnixNano() }\n")
+	out, err := runIn(dirty, "./...")
+	if err == nil {
+		t.Fatalf("hmglint passed a wall-clock read in package engine:\n%s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Fatalf("violation exit = %v, want exit status 2\n%s", err, out)
+	}
+	if !strings.Contains(out, "time.Now reads the wall clock") || !strings.Contains(out, "determinism") {
+		t.Fatalf("finding not reported:\n%s", out)
+	}
+
+	// Unknown analyzer selection mirrors proto.ParseKind: the error
+	// names every registered analyzer.
+	out, err = runIn(clean, "-analyzers", "bogus", "./...")
+	if err == nil {
+		t.Fatalf("hmglint accepted unknown analyzer:\n%s", out)
+	}
+	for _, name := range []string{"determinism", "eventemit", "exhaustive", "readonlyhooks"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("unknown-analyzer error does not list %q:\n%s", name, out)
+		}
+	}
+
+	// -list names the same set for discoverability.
+	listOut, err := runIn(clean, "-list")
+	if err != nil {
+		t.Fatalf("hmglint -list: %v\n%s", err, listOut)
+	}
+	for _, name := range []string{"determinism", "eventemit", "exhaustive", "readonlyhooks"} {
+		if !strings.Contains(listOut, name) {
+			t.Fatalf("-list output missing %q:\n%s", name, listOut)
+		}
+	}
+}

@@ -58,6 +58,7 @@ func (e *Entry) MergeFrom(src map[uint16]uint64) {
 	if e.Data == nil {
 		e.Data = make(map[uint16]uint64, len(src))
 	}
+	//lint:allow determinism word-keyed map copy; every word lands on its own key, so order cannot matter
 	for w, v := range src {
 		e.Data[w] = v
 	}

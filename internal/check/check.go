@@ -141,6 +141,12 @@ func (c *Checker) onEvent(ev gsim.Event) {
 		c.checkLoad(ev)
 	case gsim.EvKernelDrained:
 		c.scanQuiescent(ev.Aux)
+	case gsim.EvKernelLaunch, gsim.EvInvDeliver, gsim.EvInvForward, gsim.EvFill,
+		gsim.EvL2Evict, gsim.EvAcquire, gsim.EvDowngrade:
+		// Recorded in the event trail above; these kinds carry no
+		// per-event invariant yet. Listing them explicitly means a new
+		// event kind fails the exhaustive lint until someone decides
+		// what the checker owes it.
 	}
 }
 

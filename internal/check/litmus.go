@@ -233,6 +233,10 @@ func (cs Case) Oracle(r *consist.Result) error {
 	}
 	coherent := !proto.For(cs.Protocol).NoCoherence
 	switch cs.Shape {
+	case ShapeSB:
+		// Store buffering: every outcome is allowed under the scoped
+		// model (stores are posted past loads even with release/acquire
+		// pairs), so only the fabrication check above applies.
 	case ShapeMP:
 		flag, _ := r.Value(1, 0)
 		data, okData := r.Value(1, 1)

@@ -248,6 +248,8 @@ func WrittenValues(prog Program, addr topo.Addr) map[uint64]bool {
 			case trace.Atomic:
 				// Atomics produce sums; callers with atomics should
 				// check bounds instead.
+			case trace.Load, trace.LoadAcq:
+				// Loads write nothing.
 			}
 		}
 	}

@@ -282,9 +282,9 @@ func (r *Runner) memoized(key runKey, sim func() (*gsim.Results, error)) (*gsim.
 	r.cache[key] = e
 	r.mu.Unlock()
 
-	start := time.Now()
+	start := time.Now() //lint:allow determinism wall time feeds the campaign log and Summary.RunWall only, never figure bytes
 	e.res, e.err = sim()
-	wall := time.Since(start)
+	wall := time.Since(start) //lint:allow determinism wall time feeds the campaign log and Summary.RunWall only, never figure bytes
 	close(e.done)
 	if e.err != nil {
 		return nil, e.err
@@ -379,7 +379,7 @@ func (r *Runner) Prewarm(specs []RunSpec) error {
 		jobs = 1
 	}
 
-	start := time.Now()
+	start := time.Now() //lint:allow determinism wall time feeds the prewarm log line only
 	before := r.Summary()
 	work := make(chan RunSpec)
 	var wg sync.WaitGroup
@@ -387,6 +387,7 @@ func (r *Runner) Prewarm(specs []RunSpec) error {
 	var firstErr error
 	for i := 0; i < jobs; i++ {
 		wg.Add(1)
+		//lint:allow determinism the approved worker pool: runs are memoized whole and figures read the cache in deterministic order
 		go func() {
 			defer wg.Done()
 			for s := range work {
@@ -412,7 +413,7 @@ func (r *Runner) Prewarm(specs []RunSpec) error {
 	close(work)
 	wg.Wait()
 
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //lint:allow determinism wall time feeds the prewarm log line only
 	after := r.Summary()
 	r.logf("prewarm: %d unique runs (%d duplicate specs folded) on %d workers in %.1fs, %.1f M events/s\n",
 		after.UniqueRuns-before.UniqueRuns, len(specs)-len(todo), jobs, elapsed.Seconds(),

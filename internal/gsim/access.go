@@ -302,6 +302,7 @@ func (s *System) sendDowngrade(g topo.GPMID, line topo.Line) {
 	s.send(g, home, msg.Downgrade, func() {
 		if d := s.gpmOf(home).Dir; d != nil {
 			d.DropSharer(line, req)
+			s.emit(Event{Kind: EvDowngrade, GPM: home, SM: NoSM, Line: line, Aux: int(g)})
 		}
 	})
 }

@@ -61,6 +61,8 @@ func (s *System) classifyLoad(home *GPM, l topo.Line, accessor topo.GPMID) {
 		if e.owner != accessor {
 			home.classes[r] = classEntry{state: classReadOnly}
 		}
+	case classReadOnly, classReadWrite:
+		// Terminal for loads: reads never demote a classification.
 	}
 }
 
@@ -105,6 +107,7 @@ func (s *System) broadcastInv(home *GPM, l topo.Line) {
 		}
 		s.send(home.id, dest, msg.Inv, func() {
 			s.gpmOf(dest).L2.InvalidateRegion(first, topo.HomeGranuleLines)
+			s.emit(Event{Kind: EvInvDeliver, GPM: dest, SM: NoSM, Line: first, Aux: topo.HomeGranuleLines})
 			home.invAll.Finish()
 			if intra {
 				home.invIntra.Finish()

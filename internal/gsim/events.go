@@ -55,8 +55,15 @@ const (
 	// Line names the victim.
 	EvL2Evict
 	// EvAcquire fires when an acquire operation applies its
-	// invalidation effects at the issuing SM.
+	// invalidation effects at the issuing SM. Kernel-boundary implicit
+	// acquires (the .sys acquire every kernel launch performs) emit one
+	// system-wide EvAcquire with SM set to NoSM.
 	EvAcquire
+	// EvDowngrade fires when a clean-eviction downgrade notice (the
+	// optional Section IV optimization) is processed at a home node and
+	// the evicting module leaves the sharer set. Aux is the evicting
+	// GPM.
+	EvDowngrade
 )
 
 var eventKindNames = [...]string{
@@ -72,6 +79,7 @@ var eventKindNames = [...]string{
 	EvFill:          "fill",
 	EvL2Evict:       "l2-evict",
 	EvAcquire:       "acquire",
+	EvDowngrade:     "downgrade",
 }
 
 // String implements fmt.Stringer.
@@ -112,14 +120,18 @@ func (e Event) String() string {
 	switch e.Kind {
 	case EvKernelLaunch, EvKernelDrained:
 		return fmt.Sprintf("@%d %s kernel=%d", uint64(e.Cycle), e.Kind, e.Aux)
-	case EvInvDeliver, EvInvForward:
+	case EvInvDeliver, EvInvForward, EvDowngrade:
 		return s + fmt.Sprintf(" line=%#x aux=%d", uint64(e.Line), e.Aux)
 	case EvFill, EvL2Evict:
 		return s + fmt.Sprintf(" line=%#x", uint64(e.Line))
 	case EvAcquire:
 		return s + fmt.Sprintf(" scope=%v", e.Scope)
+	case EvLoadDone, EvStoreIssue, EvHomeStore, EvGPUHomeStore, EvAtomicApply:
+		return s + fmt.Sprintf(" addr=%#x op=%v scope=%v val=%d", uint64(e.Addr), e.Op, e.Scope, e.Val)
+	default:
+		// Unknown kinds (corrupted trails) render the bare header.
+		return s
 	}
-	return s + fmt.Sprintf(" addr=%#x op=%v scope=%v val=%d", uint64(e.Addr), e.Op, e.Scope, e.Val)
 }
 
 // emit stamps the current cycle and delivers the event to the sink. The

@@ -298,6 +298,10 @@ func (s *System) launchKernel(k *trace.Kernel) {
 // contents.
 func (s *System) kernelBoundaryInvalidate() {
 	p := s.Cfg.Policy
+	// The implicit acquire is a protocol-visible transition like any
+	// explicit one: surface it to the event stream so the conformance
+	// checker sees the bulk invalidation rather than inferring it.
+	s.emit(Event{Kind: EvAcquire, GPM: 0, SM: NoSM, Scope: trace.ScopeSys, Op: trace.LoadAcq})
 	// L1s are software-managed on every configuration, including Ideal:
 	// a new kernel's implicit acquire always flushes them. What Ideal
 	// idealizes is the caching of remote data in the L2 hierarchy.

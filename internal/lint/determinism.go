@@ -1,0 +1,108 @@
+// The determinism analyzer: simulator packages must be bit-for-bit
+// replayable. The repo's hard invariant (ROADMAP, verify.sh) is that
+// the same trace and configuration produce byte-identical results and
+// event streams on every run, on every machine, at any -jobs level.
+// Three things silently break that:
+//
+//   - ranging over a map: Go randomizes iteration order, so any map
+//     walk whose results feed state, events, stats, or output is a
+//     latent heisenbug;
+//   - reading the wall clock (time.Now) or unseeded process-global
+//     randomness (math/rand top-level functions): host-dependent
+//     values leak into results;
+//   - spawning goroutines: scheduling order is nondeterministic, so
+//     concurrency belongs only in the approved worker-pool sites that
+//     merge results in deterministic order.
+//
+// The pass flags all four constructs in packages named gsim, engine,
+// experiments, proto, and cache. Order-independent map walks (pure
+// copies, reductions into order-insensitive accumulators) and the
+// sanctioned worker pool carry //lint:allow determinism directives
+// with their justification.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// determinismPackages are the package names (not import paths, so test
+// fixtures exercise the same rules) under the replayability contract.
+var determinismPackages = map[string]bool{
+	"gsim":        true,
+	"engine":      true,
+	"experiments": true,
+	"proto":       true,
+	"cache":       true,
+}
+
+// seededRandConstructors are math/rand functions that build explicitly
+// seeded generators rather than reading process-global state.
+var seededRandConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	"NewPCG":    true,
+	"NewChaCha8": true,
+}
+
+// AnalyzerDeterminism flags nondeterministic constructs in simulator
+// packages.
+var AnalyzerDeterminism = &Analyzer{
+	Name: "determinism",
+	Doc: "flag map-order iteration, wall-clock reads, unseeded randomness, " +
+		"and goroutine spawns in simulator packages",
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) []Diagnostic {
+	if !determinismPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if _, ok := pass.Info.TypeOf(n.X).Underlying().(*types.Map); ok {
+					pass.report(&diags, "determinism", n.Pos(),
+						"range over map %s iterates in randomized order; iterate a sorted key slice, "+
+							"or annotate order-independent walks with //lint:allow determinism <reason>",
+						typeName(pass.Info.TypeOf(n.X)))
+				}
+			case *ast.GoStmt:
+				pass.report(&diags, "determinism", n.Pos(),
+					"goroutine spawn in a simulator package; concurrency is only allowed at "+
+						"approved worker-pool sites (//lint:allow determinism <reason>)")
+			case *ast.CallExpr:
+				fn := callee(pass.Info, n)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					if (fn.Name() == "Now" || fn.Name() == "Since") && recvNamed(fn) == nil {
+						pass.report(&diags, "determinism", n.Pos(),
+							"time.%s reads the wall clock; simulated time comes from engine.Now "+
+								"(//lint:allow determinism <reason> for observability-only uses)", fn.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					if recvNamed(fn) == nil && !seededRandConstructors[fn.Name()] {
+						pass.report(&diags, "determinism", n.Pos(),
+							"%s.%s uses the process-global random source; use an explicitly seeded "+
+								"generator (rand.New(rand.NewSource(seed)))",
+							fn.Pkg().Name(), fn.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// typeName renders a type compactly for messages.
+func typeName(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

@@ -1,0 +1,174 @@
+// The exhaustive analyzer: a switch over one of the module's enums
+// (proto.Kind, gsim.EventKind, trace.Scope, trace.OpKind, msg.Kind,
+// directory states, ...) must either cover every declared value or
+// carry an explicit default that panics or returns. The paper repo
+// grows by adding enum values — a seventh protocol, a 13th event kind,
+// a new scope — and the bug class this kills is the silent
+// fall-through: the new value slides past every old switch and the
+// simulator quietly does nothing, which the runtime checker can only
+// catch if the miss happens to violate an invariant on a fuzzed path.
+//
+// An enum, for this pass, is any named integer type declared in this
+// module (leading import-path element matches the current package)
+// with at least two constants of exactly that type in its defining
+// package's scope. Coverage is by constant value, so aliases
+// (internal names for the same value) count. A default clause
+// satisfies the rule only if it panics, returns, or calls a
+// fatal/exit function — a default that silently absorbs is precisely
+// the fall-through being hunted.
+
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AnalyzerExhaustive enforces full-coverage switches over module enums.
+var AnalyzerExhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc: "switches over module enum types must cover every value or have a " +
+		"default that panics/returns",
+	Run: runExhaustive,
+}
+
+func runExhaustive(pass *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, sw, &diags)
+			return true
+		})
+	}
+	return diags
+}
+
+func checkSwitch(pass *Pass, sw *ast.SwitchStmt, diags *[]Diagnostic) {
+	named, ok := pass.Info.TypeOf(sw.Tag).(*types.Named)
+	if !ok {
+		return
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !sameModule(obj.Pkg().Path(), pass.Pkg.Path()) {
+		return
+	}
+
+	// Enumerate the enum: constants of exactly this type in the
+	// defining package's scope, grouped by value (aliases collapse).
+	values := enumValues(obj.Pkg().Scope(), named)
+	if len(values) < 2 {
+		return
+	}
+
+	covered := map[int64]bool{}
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.Info.Types[e]
+			if !ok || tv.Value == nil {
+				// A non-constant case defeats value analysis; treat the
+				// switch as out of scope.
+				return
+			}
+			if v, exact := constant.Int64Val(tv.Value); exact {
+				covered[v] = true
+			}
+		}
+	}
+
+	var missing []string
+	for v, names := range values {
+		if !covered[v] {
+			missing = append(missing, names[0])
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+
+	enum := obj.Pkg().Name() + "." + obj.Name()
+	if defaultClause == nil {
+		pass.report(diags, "exhaustive", sw.Pos(),
+			"switch over %s is not exhaustive: missing %s; add the cases or a default that panics/returns",
+			enum, strings.Join(missing, ", "))
+		return
+	}
+	if !defaultFailsLoudly(pass, defaultClause) {
+		pass.report(diags, "exhaustive", defaultClause.Pos(),
+			"switch over %s is not exhaustive (missing %s) and its default absorbs silently; "+
+				"panic or return in the default, or cover the values",
+			enum, strings.Join(missing, ", "))
+	}
+}
+
+// enumValues collects the constants of exactly type named from a
+// package scope, grouped by value with exported names first.
+func enumValues(scope *types.Scope, named *types.Named) map[int64][]string {
+	values := map[int64][]string{}
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		v, exact := constant.Int64Val(c.Val())
+		if !exact {
+			continue
+		}
+		if ast.IsExported(name) {
+			values[v] = append([]string{name}, values[v]...)
+		} else {
+			values[v] = append(values[v], name)
+		}
+	}
+	return values
+}
+
+// defaultFailsLoudly reports whether a default clause panics, returns,
+// or calls a fatal/exit function somewhere in its body.
+func defaultFailsLoudly(pass *Pass, cc *ast.CaseClause) bool {
+	loud := false
+	for _, stmt := range cc.Body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ReturnStmt:
+				loud = true
+			case *ast.CallExpr:
+				switch fun := ast.Unparen(n.Fun).(type) {
+				case *ast.Ident:
+					if fun.Name == "panic" {
+						loud = true
+					}
+				case *ast.SelectorExpr:
+					if strings.HasPrefix(fun.Sel.Name, "Fatal") || fun.Sel.Name == "Exit" {
+						loud = true
+					}
+				}
+			}
+			return !loud
+		})
+		if loud {
+			return true
+		}
+	}
+	return false
+}

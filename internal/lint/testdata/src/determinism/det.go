@@ -1,0 +1,57 @@
+// Determinism fixture: the package is named gsim so the analyzer's
+// simulator-package scoping applies.
+package gsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func mapOrder(m map[int]int) int {
+	total := 0
+	for k, v := range m { // want `range over map`
+		total += k * v
+	}
+	return total
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+func unseeded() int {
+	return rand.Intn(8) // want `process-global random source`
+}
+
+func spawn(f func()) {
+	go f() // want `goroutine spawn`
+}
+
+// Clean: explicitly seeded generator, and method calls on it.
+func seededOK() int {
+	g := rand.New(rand.NewSource(1))
+	return g.Intn(8)
+}
+
+// Clean: slice iteration is ordered.
+func sliceOK(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Clean: order-independent copy under a justified allow.
+func allowedCopy(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	//lint:allow determinism key-for-key copy; each key is written independently, order cannot matter
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,23 @@
+// Directive fixture: malformed //lint:allow forms are diagnostics in
+// their own right and do not suppress the finding they sit next to.
+// Checked with explicit assertions in lint_test.go (want comments
+// cannot share a line with the directive under test).
+package gsim
+
+func missingReason(m map[int]int) {
+	//lint:allow determinism
+	for range m {
+	}
+}
+
+func unknownName(m map[int]int) {
+	//lint:allow nosuchpass because reasons
+	for range m {
+	}
+}
+
+func good(m map[int]int) {
+	//lint:allow determinism commutative count; order cannot matter
+	for range m {
+	}
+}

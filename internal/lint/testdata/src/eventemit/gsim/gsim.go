@@ -1,0 +1,57 @@
+// Eventemit fixture: a miniature System with an emit method, plus the
+// full spectrum of mutation sites — silent (flagged), emitting (clean),
+// transitively emitting (clean), and suppressed.
+package gsim
+
+import "fixture/cache"
+
+// Event is the hook payload.
+type Event struct{ Kind int }
+
+// System owns the caches and the event sink.
+type System struct {
+	L2      *cache.Cache
+	OnEvent func(Event)
+}
+
+func (s *System) emit(ev Event) {
+	if s.OnEvent != nil {
+		s.OnEvent(ev)
+	}
+}
+
+// Violating: protocol-state mutation with no emit anywhere in reach.
+func (s *System) badEvict(line uint64) {
+	s.L2.Invalidate(line) // want `mutates protocol state \(cache\.Cache\.Invalidate\)`
+}
+
+// Clean: mutation beside a direct emit.
+func (s *System) goodFill(line uint64) {
+	s.L2.Fill(line)
+	s.emit(Event{Kind: 1})
+}
+
+// Clean: mutation in a function that reaches emit through a helper.
+func (s *System) goodTransitive(line uint64) {
+	s.L2.Fill(line)
+	s.note()
+}
+
+func (s *System) note() { s.emit(Event{Kind: 2}) }
+
+// Violating: the dirty bit is a field write the API table cannot see.
+func (s *System) badDirty(e *cache.Entry) {
+	e.Dirty = true // want `cache\.Entry\.Dirty write`
+}
+
+// Clean: a pure absorption helper with its covering event documented.
+func (s *System) allowedDirty(e *cache.Entry) {
+	//lint:allow eventemit absorption covered by the caller's store-issue event
+	e.Dirty = true
+}
+
+// Clean: read-only accessors never trip the table.
+func (s *System) reader(line uint64) bool {
+	_, ok := s.L2.Peek(line)
+	return ok
+}

@@ -1,0 +1,89 @@
+// Exhaustive fixture: switches over a module enum in every flavor the
+// analyzer distinguishes.
+package exh
+
+// Color is a module enum: a named integer with >= 2 typed constants.
+type Color int
+
+const (
+	Red Color = iota
+	Green
+	Blue
+)
+
+// crimson aliases Red; coverage is by value, so naming either counts.
+const crimson = Red
+
+// Violating: missing a value, no default.
+func name(c Color) string {
+	switch c { // want `switch over exh\.Color is not exhaustive: missing Blue`
+	case Red:
+		return "red"
+	case Green:
+		return "green"
+	}
+	return "?"
+}
+
+// Violating: missing values behind a default that absorbs silently.
+func silent(c Color) string {
+	out := "?"
+	switch c {
+	case Red:
+		out = "red"
+	default: // want `default absorbs silently`
+		out = ""
+	}
+	return out
+}
+
+// Clean: full coverage, alias name standing in for Red.
+func full(c Color) string {
+	switch c {
+	case crimson, Green, Blue:
+		return "known"
+	}
+	return "?"
+}
+
+// Clean: a default that panics is a loud fall-through.
+func loud(c Color) string {
+	switch c {
+	case Red:
+		return "red"
+	default:
+		panic("unhandled color")
+	}
+}
+
+// Clean: a default that returns is loud too.
+func loudReturn(c Color) string {
+	switch c {
+	case Green:
+		return "green"
+	default:
+		return "other"
+	}
+}
+
+// Clean: suppressed with a reason.
+func suppressed(c Color) {
+	//lint:allow exhaustive legacy switch, migration tracked separately
+	switch c {
+	case Red:
+	}
+}
+
+// Single has one constant: not an enum, switches over it are free.
+type Single int
+
+// OnlyOne is the sole Single value.
+const OnlyOne Single = 0
+
+func one(s Single) string {
+	switch s {
+	case OnlyOne:
+		return "one"
+	}
+	return "?"
+}

@@ -1,0 +1,242 @@
+// go vet integration. `go vet -vettool=hmglint` drives the tool with
+// the unitchecker protocol: a -flags probe (JSON flag list), a -V=full
+// probe (version string keyed into vet's result cache), then one
+// invocation per package in dependency order, each with a single
+// *.cfg argument describing the compilation unit — its sources, the
+// export-data and facts files of its dependencies, and where to write
+// this package's facts. Diagnostics go to stderr as file:line:col
+// lines with a nonzero exit, which go vet relays.
+
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// vetConfig mirrors the cfg JSON cmd/go hands a vettool (the shape
+// x/tools' unitchecker consumes).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the hmglint entry point: it dispatches between the vettool
+// protocol and standalone multichecker mode, returning the process
+// exit code (0 clean, 1 internal error, 2 findings).
+func Main(args []string) int {
+	// Vettool protocol probes.
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			fmt.Printf("hmglint version %s\n", buildID())
+			return 0
+		case a == "-flags" || a == "--flags":
+			// No tool-specific flags are exposed through go vet; analyzer
+			// selection is a standalone-mode feature.
+			fmt.Println("[]")
+			return 0
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return unitcheck(args[0])
+	}
+
+	fs := flag.NewFlagSet("hmglint", flag.ContinueOnError)
+	analyzers := fs.String("analyzers", "", "comma-separated analyzer selection (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: hmglint [-analyzers a,b] [packages]\n")
+		fmt.Fprintf(fs.Output(), "       go vet -vettool=$(which hmglint) [packages]\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *list {
+		for _, a := range Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	enabled, err := Select(*analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := Run("", patterns, enabled)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "hmglint: %d finding(s)\n", len(diags))
+		return 2
+	}
+	return 0
+}
+
+// unitcheck analyzes one compilation unit under the vettool protocol.
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hmglint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "hmglint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	writeVetx := func(fs FactSet) bool {
+		if cfg.VetxOutput == "" {
+			return true
+		}
+		out, err := json.Marshal(fs)
+		if err == nil {
+			err = os.WriteFile(cfg.VetxOutput, out, 0o666)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hmglint:", err)
+			return false
+		}
+		return true
+	}
+
+	// Standard-library units carry no module facts and no findings;
+	// satisfy the protocol with an empty facts file. (cfg.Standard only
+	// describes the unit's imports, so std-ness of the unit itself is
+	// detected by its sources living under GOROOT.) Test variants are
+	// likewise skipped once test files are filtered out.
+	var sources []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			sources = append(sources, f)
+		}
+	}
+	if cfg.Standard[cfg.ImportPath] || isGorootUnit(sources) || len(sources) == 0 {
+		if !writeVetx(FactSet{}) {
+			return 1
+		}
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, cfg.Compiler, lookup)
+
+	// Dependency facts from the vetx files go vet threads through the
+	// build graph. Missing files (e.g. cached std units) mean no facts.
+	facts := FactSet{}
+	for _, vetx := range cfg.PackageVetx {
+		b, err := os.ReadFile(vetx)
+		if err != nil {
+			continue
+		}
+		var fs FactSet
+		if json.Unmarshal(b, &fs) == nil {
+			facts.merge(fs)
+		}
+	}
+
+	p := &listPkg{
+		Dir:        cfg.Dir,
+		ImportPath: cfg.ImportPath,
+		GoFiles:    sources,
+		ImportMap:  cfg.ImportMap,
+	}
+	pass, err := typecheck(fset, imp, p, facts)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			if !writeVetx(FactSet{}) {
+				return 1
+			}
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	own := computeFacts(pass)
+	if !writeVetx(own) {
+		return 1
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	pass.Facts.merge(own)
+
+	diags := runAnalyzers(pass, Analyzers())
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Position, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// isGorootUnit reports whether a compilation unit's sources live under
+// GOROOT — i.e. it is a standard-library package go vet is threading
+// through for facts.
+func isGorootUnit(sources []string) bool {
+	if len(sources) == 0 {
+		return false
+	}
+	goroot := runtime.GOROOT()
+	if goroot == "" {
+		return false
+	}
+	return strings.HasPrefix(sources[0], filepath.Clean(goroot)+string(filepath.Separator))
+}
+
+// buildID hashes the running executable so go vet's result cache
+// invalidates whenever the tool itself changes.
+func buildID() string {
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err := os.Open(exe); err == nil {
+			defer f.Close()
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				return fmt.Sprintf("%x", h.Sum(nil)[:12])
+			}
+		}
+	}
+	return "unknown"
+}

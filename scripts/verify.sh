@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
-# Repo verification: build, vet, full tests, a race-detector tier, and a
-# protocol conformance tier.
+# Repo verification: build, vet, lint, full tests, a race-detector tier,
+# and a protocol conformance tier.
+#
+# The lint tier builds cmd/hmglint and runs the full analyzer suite
+# (determinism, eventemit, exhaustive, readonlyhooks) over the module;
+# any finding fails the script via the tool's nonzero exit.
 #
 # The race tier runs the whole module at -short scale (the experiment
 # suites are ~10x slower under -race) plus the full experiments package,
@@ -18,6 +22,12 @@ go build ./...
 
 echo "== go vet"
 go vet ./...
+
+echo "== hmglint"
+HMGLINT_BIN="$(mktemp -d)/hmglint"
+trap 'rm -rf "$(dirname "$HMGLINT_BIN")"' EXIT
+go build -o "$HMGLINT_BIN" ./cmd/hmglint
+"$HMGLINT_BIN" ./...
 
 echo "== go test"
 go test ./...
