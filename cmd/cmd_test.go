@@ -127,6 +127,11 @@ func TestHmgcheckFlow(t *testing.T) {
 	if !strings.Contains(out, "cases passed") {
 		t.Fatalf("hmgcheck output:\n%s", out)
 	}
+	// The spec tier (enumerate + diff per table instantiation) rides
+	// along in every sweep.
+	if !strings.Contains(out, "4 spec)") {
+		t.Fatalf("hmgcheck summary missing the spec tier:\n%s", out)
+	}
 	mutated, err := exec.Command(bin, "-seeds", "64", "-bench", "nw-16K", "-scale", "0.1", "-mutate", "1").CombinedOutput()
 	if err == nil {
 		t.Fatalf("hmgcheck passed with an injected protocol bug:\n%s", mutated)
@@ -140,6 +145,46 @@ func TestHmgcheckFlow(t *testing.T) {
 	}
 	if out, err := exec.Command(bin, "-bench", "nosuch").CombinedOutput(); err == nil || !strings.Contains(string(out), "known:") {
 		t.Fatalf("hmgcheck unknown benchmark: err=%v out=%s", err, out)
+	}
+}
+
+// TestHmgspecFlow drives the Table I spec certifier end to end: the
+// trunk run certifies both instantiations, -render emits the DESIGN.md
+// fragment, and each deliberate proto.Mutation bit must make the
+// spec↔implementation diff fail — the spec tier proving its own teeth.
+func TestHmgspecFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI build in -short mode")
+	}
+	bin := build(t, "cmd/hmgspec")
+	out := run(t, bin)
+	for _, want := range []string{
+		"NHCC: 9 states, 104 transitions, 0 violations",
+		"HMG: 9 states, 93 transitions, 0 violations",
+		"0 divergences",
+		"certified",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("hmgspec output missing %q:\n%s", want, out)
+		}
+	}
+	rendered := run(t, bin, "-render")
+	for _, want := range []string{
+		"| State | Event | Guard | Next | Sharer set | Invalidations |",
+		"| V | Invalidation | always | I | clear sharers | inv full sharer set |",
+	} {
+		if !strings.Contains(rendered, want) {
+			t.Fatalf("hmgspec -render missing %q:\n%s", want, rendered)
+		}
+	}
+	for _, bit := range []string{"1", "2", "4"} {
+		mutated, err := exec.Command(bin, "-mutate", bit).CombinedOutput()
+		if err == nil {
+			t.Fatalf("hmgspec -mutate %s passed with an injected protocol bug:\n%s", bit, mutated)
+		}
+		if !strings.Contains(string(mutated), "FAILED") || !strings.Contains(string(mutated), "divergences") {
+			t.Fatalf("hmgspec -mutate %s did not report divergences:\n%s", bit, mutated)
+		}
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"hmg/internal/consist"
 	"hmg/internal/gsim"
 	"hmg/internal/proto"
+	"hmg/internal/proto/spec"
 	"hmg/internal/workload"
 )
 
@@ -91,13 +92,49 @@ func main() {
 		}
 	}
 
+	// Spec tier: exhaustive small-model enumeration plus the spec↔DirCtrl
+	// differ, per table instantiation. The -mutate bits reach the differ's
+	// implementation side, so a mutated sweep fails here even when no
+	// litmus or benchmark trace happens to exercise the broken arm.
+	for _, tab := range []spec.Table{spec.NHCC(), spec.HMG()} {
+		if restrict && only.String() != tab.Name {
+			continue
+		}
+		tab := tab
+		tasks = append(tasks, task{
+			name: "spec enumerate " + tab.Name,
+			run: func() error {
+				rep, err := spec.Enumerate(tab)
+				if err != nil {
+					return err
+				}
+				return rep.Err()
+			},
+		})
+		tasks = append(tasks, task{
+			name: "spec diff " + tab.Name,
+			run: func() error {
+				cfg := spec.DefaultDiffConfig(tab)
+				cfg.Mutation = mu
+				divs, err := spec.Diff(cfg)
+				if err != nil {
+					return err
+				}
+				if len(divs) > 0 {
+					return fmt.Errorf("%d divergences from Table I spec, first: %v", len(divs), divs[0])
+				}
+				return nil
+			},
+		})
+	}
+
 	failures := sweep(tasks, *jobs, *verbose)
 	if len(failures) > 0 {
 		fmt.Fprintf(os.Stderr, "hmgcheck: %d/%d cases FAILED\n", len(failures), len(tasks))
 		os.Exit(1)
 	}
-	fmt.Printf("hmgcheck: %d cases passed (%d litmus, %d bench)\n",
-		len(tasks), countPrefix(tasks, "litmus "), countPrefix(tasks, "bench "))
+	fmt.Printf("hmgcheck: %d cases passed (%d litmus, %d bench, %d spec)\n",
+		len(tasks), countPrefix(tasks, "litmus "), countPrefix(tasks, "bench "), countPrefix(tasks, "spec "))
 }
 
 // runBench executes one benchmark under one protocol on the conformance

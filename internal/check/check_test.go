@@ -185,7 +185,7 @@ func TestMutationViolationDetail(t *testing.T) {
 // sharers; with the mutation they are silently forgotten, leaving
 // untracked remote copies the checker must flag.
 func TestMutationDropEvictInv(t *testing.T) {
-	run := func(mu proto.Mutation) *Checker {
+	run := func(mu proto.Mutation) (*Checker, *gsim.System) {
 		t.Helper()
 		cfg := consist.SmallConfig(proto.NHCC)
 		cfg.Dir.Entries = 8
@@ -200,15 +200,17 @@ func TestMutationDropEvictInv(t *testing.T) {
 		b.Warmup(6, addrs...)
 		b.Thread(6, trace.Op{Kind: trace.Load, Addr: addrs[0], Gap: 2_000_000})
 		var ck *Checker
-		if _, err := consist.Run(cfg, b.Build(), func(sys *gsim.System) { ck = Attach(sys) }); err != nil {
+		var sys *gsim.System
+		if _, err := consist.Run(cfg, b.Build(), func(s *gsim.System) { sys = s; ck = Attach(s) }); err != nil {
 			t.Fatal(err)
 		}
-		return ck
+		return ck, sys
 	}
-	if err := run(0).Err(); err != nil {
+	ck, _ := run(0)
+	if err := ck.Err(); err != nil {
 		t.Fatalf("trunk eviction pressure is dirty: %v", err)
 	}
-	ck := run(proto.MutDropEvictInv)
+	ck, sys := run(proto.MutDropEvictInv)
 	found := false
 	for _, v := range ck.Violations() {
 		if v.Invariant == "inclusion" {
@@ -217,6 +219,18 @@ func TestMutationDropEvictInv(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("dropped eviction invalidations went undetected (violations: %v)", ck.Violations())
+	}
+	// Fig. 10 counters record protocol-intended traffic: the mutation
+	// suppresses the messages, not the accounting, so the per-directory
+	// eviction-invalidation counters still accumulate.
+	var evictMsgs uint64
+	for _, gpm := range sys.GPMs {
+		if gpm.Dir != nil {
+			evictMsgs += gpm.Dir.InvMsgsByEvicts
+		}
+	}
+	if evictMsgs == 0 {
+		t.Fatal("mutated run recorded no intended eviction invalidations; counters must not be suppressed by MutDropEvictInv")
 	}
 }
 

@@ -15,6 +15,7 @@ package directory
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"hmg/internal/topo"
 )
@@ -261,6 +262,17 @@ func (d *Dir) Drop(r Region) bool {
 		}
 	}
 	return false
+}
+
+// Snapshot returns a copy of every Valid entry sorted by region — a
+// deterministic view of the directory state for differs and tests,
+// independent of set/way placement. Unlike Lookup it never touches LRU
+// or hit/miss statistics.
+func (d *Dir) Snapshot() []Entry {
+	out := make([]Entry, 0, d.live)
+	d.ForEach(func(e *Entry) { out = append(out, *e) })
+	sort.Slice(out, func(i, j int) bool { return out[i].Region < out[j].Region })
+	return out
 }
 
 // ForEach visits every Valid entry.

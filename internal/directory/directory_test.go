@@ -227,6 +227,34 @@ func TestStorageCost(t *testing.T) {
 	}
 }
 
+// TestSnapshot: region-sorted copies of the valid entries, no stat or
+// LRU side effects.
+func TestSnapshot(t *testing.T) {
+	d := New(Config{Entries: 8, Ways: 2, GranLines: 1})
+	for _, r := range []Region{9, 2, 5} {
+		e, _ := d.Ensure(r)
+		e.Sharers = GPMBit(int(r % 3))
+	}
+	pre := d.Stats
+	snap := d.Snapshot()
+	if d.Stats != pre {
+		t.Fatalf("Snapshot changed stats: %+v → %+v", pre, d.Stats)
+	}
+	if len(snap) != 3 || snap[0].Region != 2 || snap[1].Region != 5 || snap[2].Region != 9 {
+		t.Fatalf("snapshot = %+v, want regions 2,5,9 in order", snap)
+	}
+	for _, e := range snap {
+		if !e.Sharers.Has(GPMBit(int(e.Region % 3))) {
+			t.Fatalf("entry %d lost its sharers: %v", e.Region, e.Sharers)
+		}
+	}
+	// Mutating the copies must not touch the directory.
+	snap[0].Sharers = 0
+	if e, ok := d.Lookup(2); !ok || e.Sharers.IsEmpty() {
+		t.Fatal("snapshot aliases directory storage")
+	}
+}
+
 func BenchmarkEnsure(b *testing.B) {
 	d := New(DefaultConfig())
 	b.ReportAllocs()

@@ -1,0 +1,303 @@
+// The spec↔implementation differ: drive proto.DirCtrl and the spec
+// Model side by side over one deterministic generated event sequence
+// and report every transition where the two disagree — on returned
+// invalidation targets, on eviction region and fan-out, on the full
+// directory state after the step, or on the intended-traffic counters
+// at the end of the run.
+//
+// Replacement victim *selection* is geometry, not protocol: the differ
+// learns which region the implementation's set-associative directory
+// displaced (by comparing state snapshots) and feeds the spec a
+// ReplaceEntry event for that region; the spec then dictates what the
+// protocol must do about it.
+
+package spec
+
+import (
+	"fmt"
+
+	"hmg/internal/directory"
+	"hmg/internal/proto"
+	"hmg/internal/topo"
+)
+
+// Divergence is one observed disagreement between DirCtrl and the spec.
+type Divergence struct {
+	Step  int
+	Op    string
+	Field string
+	Impl  string
+	Spec  string
+}
+
+// String implements fmt.Stringer.
+func (d Divergence) String() string {
+	return fmt.Sprintf("step %d %s: %s: impl %s, spec %s", d.Step, d.Op, d.Field, d.Impl, d.Spec)
+}
+
+// DiffConfig parameterizes one differ run.
+type DiffConfig struct {
+	Table Table
+	// Dir is the implementation directory geometry; keep it small so
+	// the generated sequence exercises replacement.
+	Dir directory.Config
+	// Mutation is injected into the DirCtrl under test (the spec side
+	// never mutates) — the self-test that proves the differ has teeth.
+	Mutation proto.Mutation
+	Seed     uint64
+	Ops      int
+}
+
+// DefaultDiffConfig returns the configuration used by cmd/hmgspec and
+// the hmgcheck spec tier: an 8-entry 2-way directory under 4096
+// generated events over 16 regions, which exercises every Table I arm
+// including replacement many times over.
+func DefaultDiffConfig(t Table) DiffConfig {
+	return DiffConfig{
+		Table: t,
+		Dir:   directory.Config{Entries: 8, Ways: 2, GranLines: 4},
+		Seed:  1,
+		Ops:   4096,
+	}
+}
+
+// maxDivergences bounds the report; a diverging run usually disagrees
+// on nearly every subsequent step once state has forked.
+const maxDivergences = 16
+
+// splitmix64 is the deterministic sequence generator (same construction
+// as the litmus fuzzer's seed expander).
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// expectedStats are the intended-traffic counters the spec predicts.
+// They accumulate pre-mutation values by construction, which is exactly
+// the contract the DirCtrl counters pin.
+type expectedStats struct {
+	StoresSeen       uint64
+	StoresSharedData uint64
+	StoresWithInvs   uint64
+	LinesInvByStores uint64
+	LinesInvByEvicts uint64
+	InvMsgsByStores  uint64
+	InvMsgsByEvicts  uint64
+	InvMsgsForwarded uint64
+}
+
+// Diff runs cfg.Ops generated events through a DirCtrl and the spec
+// model and returns the divergences (empty means the implementation
+// matches the spec over this sequence). The error return covers broken
+// configurations and spec misuse, not divergences.
+func Diff(cfg DiffConfig) ([]Divergence, error) {
+	if err := cfg.Table.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Dir.Validate(); err != nil {
+		return nil, err
+	}
+	impl := proto.NewDirCtrl(cfg.Dir)
+	impl.Mutate = cfg.Mutation
+	model := NewModel(cfg.Table)
+	var want expectedStats
+
+	// Requester pools: flat tables use global GPM ids; hierarchical
+	// tables mix local GPM indices with GPU ids, as at an HMG system
+	// home.
+	reqs := []proto.Requester{
+		proto.GPMRequester(1), proto.GPMRequester(2), proto.GPMRequester(3),
+	}
+	if cfg.Table.Hierarchical {
+		reqs = []proto.Requester{
+			proto.GPMRequester(1), proto.GPMRequester(2),
+			proto.GPURequester(1), proto.GPURequester(2),
+		}
+	}
+	regions := 2 * cfg.Dir.Entries // twice capacity: replacement is routine
+	gran := uint64(cfg.Dir.GranLines)
+
+	var divs []Divergence
+	report := func(step int, op, field, implVal, specVal string) {
+		if len(divs) < maxDivergences {
+			divs = append(divs, Divergence{Step: step, Op: op, Field: field, Impl: implVal, Spec: specVal})
+		}
+	}
+
+	s := cfg.Seed
+	step := 0
+	for ; step < cfg.Ops && len(divs) < maxDivergences; step++ {
+		r := directory.Region(splitmix64(&s) % uint64(regions))
+		line := topo.Line(uint64(r) * gran) // first line of region r
+		req := reqs[splitmix64(&s)%uint64(len(reqs))]
+		kindRoll := splitmix64(&s) % 8
+		preEvicts := impl.Dir.Stats.Evicts
+		preState, preSharers := model.State(r)
+
+		var ev Event
+		var op string
+		var implInv []proto.InvTarget
+		var implEvR directory.Region
+		var implEvT []proto.InvTarget
+		comparePrimaryInv := true
+		allocates := false
+
+		switch {
+		case kindRoll <= 2: // remote load
+			ev = Event{Kind: RemoteLd, Req: req}
+			op = fmt.Sprintf("RemoteLoad r%d %s", r, reqString(req))
+			allocates = true
+			comparePrimaryInv = false
+			implEvR, implEvT = impl.RemoteLoad(line, req)
+		case kindRoll <= 4: // remote store
+			ev = Event{Kind: RemoteSt, Req: req}
+			op = fmt.Sprintf("RemoteStore r%d %s", r, reqString(req))
+			allocates = true
+			implInv, implEvR, implEvT = impl.RemoteStore(line, req)
+			want.StoresSeen++
+			if preState == StateV && !preSharers.IsEmpty() {
+				want.StoresSharedData++
+			}
+		case kindRoll == 5: // local store
+			ev = Event{Kind: LocalSt}
+			op = fmt.Sprintf("LocalStore r%d", r)
+			implInv = impl.LocalStore(line)
+			want.StoresSeen++
+			if preState == StateV && !preSharers.IsEmpty() {
+				want.StoresSharedData++
+			}
+		case kindRoll == 6 && cfg.Table.Hierarchical: // HMG-only invalidation
+			ev = Event{Kind: Invalidation}
+			op = fmt.Sprintf("Invalidation r%d", r)
+			implInv = impl.Invalidation(r)
+		default: // downgrade — bookkeeping outside Table I, mirrored on both sides
+			op = fmt.Sprintf("DropSharer r%d %s", r, reqString(req))
+			impl.DropSharer(line, req)
+			model.DropSharer(r, Event{Req: req})
+			compareSnapshots(step, op, impl, model, report)
+			continue
+		}
+
+		// Replacement first: the implementation's Ensure displaces the
+		// victim before recording the new sharer, so the spec applies
+		// ReplaceEntry before the primary event.
+		if allocates && impl.Dir.Stats.Evicts > preEvicts {
+			victim, ok := findVictim(impl, model, r)
+			if !ok {
+				report(step, op, "evict-victim",
+					"eviction with no identifiable victim region", "exactly one displaced region")
+				break
+			}
+			out, err := model.Apply(victim, Event{Kind: ReplaceEntry})
+			if err != nil {
+				return divs, fmt.Errorf("step %d %s: %w", step, op, err)
+			}
+			want.InvMsgsByEvicts += uint64(len(out.Inv))
+			want.LinesInvByEvicts += uint64(len(out.Inv)) * gran
+			if implEvR != victim {
+				report(step, op, "evict-region", fmt.Sprint(implEvR), fmt.Sprint(victim))
+			}
+			if !targetsEqual(implEvT, out.Inv) {
+				report(step, op, "evict-targets", targetString(implEvT), targetString(out.Inv))
+			}
+		} else if len(implEvT) > 0 {
+			report(step, op, "evict-targets", targetString(implEvT), "no eviction occurred")
+		}
+
+		// The primary transition.
+		specOut, err := model.Apply(r, ev)
+		if err != nil {
+			return divs, fmt.Errorf("step %d %s: %w", step, op, err)
+		}
+		switch ev.Kind {
+		case RemoteSt, LocalSt:
+			if len(specOut.Inv) > 0 {
+				want.StoresWithInvs++
+				want.InvMsgsByStores += uint64(len(specOut.Inv))
+				want.LinesInvByStores += uint64(len(specOut.Inv)) * gran
+			}
+		case Invalidation:
+			want.InvMsgsForwarded += uint64(len(specOut.Inv))
+		case LocalLd, RemoteLd, ReplaceEntry:
+			// No store/forward counters on these arms.
+		default:
+			panic(fmt.Sprintf("spec: unhandled event kind %v", ev.Kind))
+		}
+		if comparePrimaryInv && !targetsEqual(implInv, specOut.Inv) {
+			report(step, op, "inv-targets", targetString(implInv), targetString(specOut.Inv))
+		}
+		compareSnapshots(step, op, impl, model, report)
+	}
+
+	compareStats(step, impl, want, report)
+	return divs, nil
+}
+
+// findVictim identifies the region the implementation displaced: the
+// unique region the model still tracks but the implementation no
+// longer does (excluding the region being allocated).
+func findVictim(impl *proto.DirCtrl, model *Model, alloc directory.Region) (directory.Region, bool) {
+	implHas := map[directory.Region]bool{}
+	for _, e := range impl.Dir.Snapshot() {
+		implHas[e.Region] = true
+	}
+	var victim directory.Region
+	found := 0
+	for _, e := range model.Snapshot() {
+		if e.Region != alloc && !implHas[e.Region] {
+			victim = e.Region
+			found++
+		}
+	}
+	return victim, found == 1
+}
+
+// compareSnapshots diffs the full directory state after a step.
+func compareSnapshots(step int, op string, impl *proto.DirCtrl, model *Model,
+	report func(step int, op, field, implVal, specVal string)) {
+	is := impl.Dir.Snapshot()
+	ms := model.Snapshot()
+	if len(is) != len(ms) {
+		report(step, op, "directory-state",
+			fmt.Sprintf("%d entries", len(is)), fmt.Sprintf("%d entries", len(ms)))
+		return
+	}
+	for i := range is {
+		if is[i].Region != ms[i].Region || is[i].Sharers != ms[i].Sharers {
+			report(step, op, "directory-state",
+				fmt.Sprintf("r%d=%v", is[i].Region, is[i].Sharers),
+				fmt.Sprintf("r%d=%v", ms[i].Region, ms[i].Sharers))
+			return
+		}
+	}
+}
+
+// compareStats diffs the cumulative intended-traffic counters after the
+// run: the DirCtrl counters must record what the protocol meant to
+// send, with or without an injected mutation.
+func compareStats(step int, impl *proto.DirCtrl, want expectedStats,
+	report func(step int, op, field, implVal, specVal string)) {
+	got := expectedStats{
+		StoresSeen:       impl.StoresSeen,
+		StoresSharedData: impl.StoresSharedData,
+		StoresWithInvs:   impl.StoresWithInvs,
+		LinesInvByStores: impl.LinesInvByStores,
+		LinesInvByEvicts: impl.LinesInvByEvicts,
+		InvMsgsByStores:  impl.InvMsgsByStores,
+		InvMsgsByEvicts:  impl.InvMsgsByEvicts,
+		InvMsgsForwarded: impl.InvMsgsForwarded,
+	}
+	if got != want {
+		report(step, "final", "counters", fmt.Sprintf("%+v", got), fmt.Sprintf("%+v", want))
+	}
+}
+
+func reqString(r proto.Requester) string {
+	if r.IsGPU {
+		return fmt.Sprintf("GPU%d", r.ID)
+	}
+	return fmt.Sprintf("GPM%d", r.ID)
+}

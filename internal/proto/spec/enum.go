@@ -1,0 +1,421 @@
+// The small-model exhaustive enumerator: breadth-first closure over
+// every reachable directory state of a 2-GPU × 2-GPM configuration,
+// with the paper's invariants asserted on every transition.
+//
+// Flat model (NHCC): one home directory (GPM 0 of a 4-GPM system),
+// one tracked region, requesters GPM 1..3.
+//
+// Hierarchical model (HMG): the system home at GPU 0 / GPM 0 together
+// with GPU 1's home node. The system home tracks its GPU-local peer
+// (local module 1) as a GPM bit and GPU 1 as a GPU bit; GPU 1's home
+// tracks its own module 1. Events mirror the coupled transitions of
+// the simulator: a GPU-1 load that misses its home L2 registers at
+// both levels, stores write through both levels, and any system-home
+// V→I whose fan-out names GPU 1 delivers the Invalidation event to
+// GPU 1's home, which must forward to its GPM sharers.
+
+package spec
+
+import (
+	"fmt"
+
+	"hmg/internal/directory"
+	"hmg/internal/proto"
+)
+
+// Violation is one broken invariant found during enumeration.
+type Violation struct {
+	State     string // the composite state the event was applied in
+	Event     string
+	Invariant string
+	Detail    string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: state %s, event %s: %s", v.Invariant, v.State, v.Event, v.Detail)
+}
+
+// Report summarizes one exhaustive enumeration.
+type Report struct {
+	Table       string
+	States      int // distinct reachable composite states
+	Transitions int // transitions applied and checked
+	Violations  []Violation
+}
+
+// Err returns a single error covering all violations, or nil.
+func (r Report) Err() error {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("spec enumerate %s: %d invariant violations, first: %v",
+		r.Table, len(r.Violations), r.Violations[0])
+}
+
+// Enumerate exhaustively walks the table's small model — flat for a
+// non-hierarchical table, two-level for a hierarchical one — and
+// returns the reachability report. The error return covers misuse of
+// the table itself (a missing rule, an inadmissible event), which
+// means the table is broken rather than merely wrong.
+func Enumerate(t Table) (Report, error) {
+	if err := t.Validate(); err != nil {
+		return Report{Table: t.Name}, err
+	}
+	if t.Hierarchical {
+		return enumerateHier(t)
+	}
+	return enumerateFlat(t)
+}
+
+// nodeState is one directory's view of the single modeled region.
+type nodeState struct {
+	Valid   bool
+	Sharers directory.Sharers
+}
+
+func (n nodeState) spec() (State, directory.Sharers) {
+	if n.Valid {
+		return StateV, n.Sharers
+	}
+	return StateI, 0
+}
+
+func (n nodeState) String() string {
+	if !n.Valid {
+		return "I"
+	}
+	return "V" + n.Sharers.String()
+}
+
+// checker accumulates violations with shared per-transition context.
+type checker struct {
+	violations []Violation
+}
+
+func (c *checker) fail(state, event fmt.Stringer, invariant, format string, args ...any) {
+	c.violations = append(c.violations, Violation{
+		State: state.String(), Event: event.String(),
+		Invariant: invariant, Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// checkOutcome asserts the per-transition invariants shared by both
+// models: only V/I reachable, I tracks nothing, and every V→I emits
+// invalidations covering the entire prior sharer set.
+func (c *checker) checkOutcome(state fmt.Stringer, ev Event, prior nodeState, out Outcome) {
+	switch out.Next {
+	case StateI, StateV:
+	default:
+		c.fail(state, ev, "stable-states", "transition reached non-stable state %v", out.Next)
+	}
+	if out.Next == StateI && !out.Sharers.IsEmpty() {
+		c.fail(state, ev, "no-orphan-sharers", "state I tracks %v", out.Sharers)
+	}
+	priorState, priorSharers := prior.spec()
+	if priorState == StateV && out.Next == StateI {
+		if !targetsEqual(out.Inv, proto.TargetsOf(priorSharers)) {
+			c.fail(state, ev, "full-set-invalidation",
+				"V→I invalidated %s, sharer set was %v", targetString(out.Inv), priorSharers)
+		}
+	}
+	if priorState == StateI && len(out.Inv) > 0 {
+		c.fail(state, ev, "no-phantom-invalidations", "state I emitted %s", targetString(out.Inv))
+	}
+}
+
+// apply runs one event on a node through the table, records invariant
+// checks, and returns the successor node state.
+func (c *checker) apply(t Table, state fmt.Stringer, n nodeState, ev Event) (nodeState, Outcome, error) {
+	st, sh := n.spec()
+	out, err := t.Apply(st, sh, ev)
+	if err != nil {
+		return nodeState{}, Outcome{}, err
+	}
+	c.checkOutcome(state, ev, n, out)
+	return nodeState{Valid: out.Next == StateV, Sharers: out.Sharers}, out, nil
+}
+
+// ---------------------------------------------------------------------
+// Flat model
+// ---------------------------------------------------------------------
+
+type flatState struct{ Home nodeState }
+
+func (s flatState) String() string { return "home=" + s.Home.String() }
+
+// flatEvents are every event the 4-GPM flat small model can deliver to
+// the home directory, in fixed exploration order.
+func flatEvents() []Event {
+	evs := []Event{{Kind: LocalLd}, {Kind: LocalSt}, {Kind: ReplaceEntry}}
+	for id := 1; id <= 3; id++ {
+		evs = append(evs,
+			Event{Kind: RemoteLd, Req: proto.GPMRequester(id)},
+			Event{Kind: RemoteSt, Req: proto.GPMRequester(id)},
+		)
+	}
+	return evs
+}
+
+func enumerateFlat(t Table) (Report, error) {
+	rep := Report{Table: t.Name}
+	ck := &checker{}
+	start := flatState{}
+	seen := map[flatState]bool{start: true}
+	queue := []flatState{start}
+	events := flatEvents()
+	drops := []proto.Requester{proto.GPMRequester(1), proto.GPMRequester(2), proto.GPMRequester(3)}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		var succs []flatState
+		for _, ev := range events {
+			if ev.Kind == ReplaceEntry && !cur.Home.Valid {
+				continue // nothing to replace
+			}
+			next, _, err := ck.apply(t, cur, cur.Home, ev)
+			if err != nil {
+				return rep, err
+			}
+			rep.Transitions++
+			succs = append(succs, flatState{Home: next})
+		}
+		// Downgrades (DropSharer) are outside Table I but reach the
+		// empty-sharer Valid states the accounting semantics care about.
+		for _, req := range drops {
+			if !cur.Home.Valid {
+				continue
+			}
+			rep.Transitions++
+			succs = append(succs, flatState{Home: nodeState{
+				Valid: true, Sharers: cur.Home.Sharers.Without(req.Bit()),
+			}})
+		}
+		for _, s := range succs {
+			if !seen[s] {
+				seen[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	rep.States = len(seen)
+	rep.Violations = ck.violations
+	return rep, nil
+}
+
+// ---------------------------------------------------------------------
+// Hierarchical (two-level) model
+// ---------------------------------------------------------------------
+
+// hierState is the composite state: the system home directory (GPU 0,
+// GPM 0) and GPU 1's home directory, both for the single modeled
+// region.
+type hierState struct {
+	Sys  nodeState // sharer space: local GPM 1, GPU 1
+	GPU1 nodeState // sharer space: GPU 1's local GPM 1
+}
+
+func (s hierState) String() string {
+	return "sys=" + s.Sys.String() + " gpu1=" + s.GPU1.String()
+}
+
+// gpu1Bit is GPU 1's sharer bit at the system home.
+func gpu1Bit() directory.Sharers { return proto.GPURequester(1).Bit() }
+
+func enumerateHier(t Table) (Report, error) {
+	rep := Report{Table: t.Name}
+	ck := &checker{}
+
+	// sysTransition applies one event at the system home and, when the
+	// fan-out names GPU 1, delivers the Invalidation event to GPU 1's
+	// home — the coupled HMG transition the paper adds over NHCC.
+	sysTransition := func(cur hierState, ev Event) (hierState, error) {
+		next := cur
+		sys, out, err := ck.apply(t, cur, cur.Sys, ev)
+		if err != nil {
+			return cur, err
+		}
+		next.Sys = sys
+		invalidatesGPU1 := false
+		for _, tg := range out.Inv {
+			if tg.IsGPU && tg.ID == 1 {
+				invalidatesGPU1 = true
+			}
+		}
+		if invalidatesGPU1 {
+			priorGPU1 := cur.GPU1
+			gpu1, fwd, err := ck.apply(t, cur, cur.GPU1, Event{Kind: Invalidation})
+			if err != nil {
+				return cur, err
+			}
+			// The HMG-only column: the GPU home must forward the system
+			// home's invalidation to every GPM sharer it tracks and
+			// transition to I.
+			if priorGPU1.Valid {
+				if !targetsEqual(fwd.Inv, proto.TargetsOf(priorGPU1.Sharers)) {
+					ck.fail(cur, ev, "hmg-inv-forward",
+						"system-home invalidation forwarded to %s, GPU-home sharers were %v",
+						targetString(fwd.Inv), priorGPU1.Sharers)
+				}
+			}
+			if fwd.Next != StateI {
+				ck.fail(cur, ev, "hmg-inv-forward", "GPU home kept state %v after system-home invalidation", fwd.Next)
+			}
+			next.GPU1 = gpu1
+		}
+		return next, nil
+	}
+
+	localGPM1 := proto.GPMRequester(1)
+	gpuReq := proto.GPURequester(1)
+
+	type eventFn struct {
+		name    string
+		enabled func(hierState) bool
+		step    func(hierState) (hierState, error)
+	}
+	always := func(hierState) bool { return true }
+	events := []eventFn{
+		{"sysLocalLd", always, func(s hierState) (hierState, error) {
+			return sysTransition(s, Event{Kind: LocalLd})
+		}},
+		{"sysLocalSt", always, func(s hierState) (hierState, error) {
+			return sysTransition(s, Event{Kind: LocalSt})
+		}},
+		{"sysRemoteLd(M1)", always, func(s hierState) (hierState, error) {
+			return sysTransition(s, Event{Kind: RemoteLd, Req: localGPM1})
+		}},
+		{"sysRemoteSt(M1)", always, func(s hierState) (hierState, error) {
+			return sysTransition(s, Event{Kind: RemoteSt, Req: localGPM1})
+		}},
+		{"sysReplace", func(s hierState) bool { return s.Sys.Valid }, func(s hierState) (hierState, error) {
+			return sysTransition(s, Event{Kind: ReplaceEntry})
+		}},
+		// GPU 1 module 1 load missing the GPU home's L2: registers at
+		// the GPU home (as local GPM 1) and at the system home (as
+		// GPU 1).
+		{"gpu1LdMiss(m1)", always, func(s hierState) (hierState, error) {
+			gpu1, _, err := ck.apply(t, s, s.GPU1, Event{Kind: RemoteLd, Req: localGPM1})
+			if err != nil {
+				return s, err
+			}
+			s.GPU1 = gpu1
+			return sysTransition(s, Event{Kind: RemoteLd, Req: gpuReq})
+		}},
+		// The same load hitting the GPU home's L2: the system home
+		// learns nothing. Only possible while the system home still
+		// tracks GPU 1 (its copy would have been invalidated otherwise).
+		{"gpu1LdHit(m1)", func(s hierState) bool {
+			return s.Sys.Valid && s.Sys.Sharers.Has(gpu1Bit())
+		}, func(s hierState) (hierState, error) {
+			gpu1, _, err := ck.apply(t, s, s.GPU1, Event{Kind: RemoteLd, Req: localGPM1})
+			s.GPU1 = gpu1
+			return s, err
+		}},
+		// GPU 1 module 1 store: write-through at the GPU home, then at
+		// the system home as GPU 1.
+		{"gpu1St(m1)", always, func(s hierState) (hierState, error) {
+			gpu1, _, err := ck.apply(t, s, s.GPU1, Event{Kind: RemoteSt, Req: localGPM1})
+			if err != nil {
+				return s, err
+			}
+			s.GPU1 = gpu1
+			return sysTransition(s, Event{Kind: RemoteSt, Req: gpuReq})
+		}},
+		// GPU 1's home module stores: local at its own directory, remote
+		// (as GPU 1) at the system home.
+		{"gpu1StHome", always, func(s hierState) (hierState, error) {
+			gpu1, _, err := ck.apply(t, s, s.GPU1, Event{Kind: LocalSt})
+			if err != nil {
+				return s, err
+			}
+			s.GPU1 = gpu1
+			return sysTransition(s, Event{Kind: RemoteSt, Req: gpuReq})
+		}},
+		{"gpu1Replace", func(s hierState) bool { return s.GPU1.Valid }, func(s hierState) (hierState, error) {
+			gpu1, _, err := ck.apply(t, s, s.GPU1, Event{Kind: ReplaceEntry})
+			s.GPU1 = gpu1
+			return s, err
+		}},
+		// Downgrades (outside Table I): the system home drops its local
+		// module, the GPU home drops its module.
+		{"sysDrop(M1)", func(s hierState) bool { return s.Sys.Valid }, func(s hierState) (hierState, error) {
+			s.Sys.Sharers = s.Sys.Sharers.Without(localGPM1.Bit())
+			return s, nil
+		}},
+		{"gpu1Drop(m1)", func(s hierState) bool { return s.GPU1.Valid }, func(s hierState) (hierState, error) {
+			s.GPU1.Sharers = s.GPU1.Sharers.Without(localGPM1.Bit())
+			return s, nil
+		}},
+	}
+
+	start := hierState{}
+	seen := map[hierState]bool{start: true}
+	queue := []hierState{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		// Reachable-state invariant: a Valid GPU-home entry with sharers
+		// is only coherent while the system home still tracks GPU 1 —
+		// otherwise a system-home store would never invalidate those
+		// sharers (the exact hole MutDropInvForward opens).
+		if cur.GPU1.Valid && !cur.GPU1.Sharers.IsEmpty() {
+			if !cur.Sys.Valid || !cur.Sys.Sharers.Has(gpu1Bit()) {
+				ck.violations = append(ck.violations, Violation{
+					State: cur.String(), Event: "-", Invariant: "hierarchical-inclusion",
+					Detail: "GPU home tracks sharers but the system home does not track GPU 1",
+				})
+			}
+		}
+		for _, ev := range events {
+			if !ev.enabled(cur) {
+				continue
+			}
+			next, err := ev.step(cur)
+			if err != nil {
+				return rep, fmt.Errorf("event %s: %w", ev.name, err)
+			}
+			rep.Transitions++
+			if !seen[next] {
+				seen[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	rep.States = len(seen)
+	rep.Violations = ck.violations
+	return rep, nil
+}
+
+// ---------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------
+
+// targetsEqual compares two canonical-order target lists.
+func targetsEqual(a, b []proto.InvTarget) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// targetString formats a target list like directory.Sharers.String.
+func targetString(ts []proto.InvTarget) string {
+	out := "["
+	for i, t := range ts {
+		if i > 0 {
+			out += " "
+		}
+		if t.IsGPU {
+			out += fmt.Sprintf("GPU%d", t.ID)
+		} else {
+			out += fmt.Sprintf("GPM%d", t.ID)
+		}
+	}
+	return out + "]"
+}

@@ -1,0 +1,81 @@
+package spec
+
+import (
+	"sort"
+
+	"hmg/internal/directory"
+)
+
+// Entry is one Valid entry of the spec model.
+type Entry struct {
+	Region  directory.Region
+	Sharers directory.Sharers
+}
+
+// Model is a stateful shadow directory driven purely by the spec: a
+// map of Valid regions to sharer sets, with no geometry. Replacement is
+// not a protocol decision, so the model never picks victims — callers
+// feed it ReplaceEntry events for whichever region the implementation's
+// set-associative geometry displaced.
+type Model struct {
+	Table   Table
+	entries map[directory.Region]directory.Sharers
+}
+
+// NewModel builds an empty shadow directory over the given table.
+func NewModel(t Table) *Model {
+	return &Model{Table: t, entries: map[directory.Region]directory.Sharers{}}
+}
+
+// State returns the spec state of a region: StateV with its sharer set
+// when tracked, StateI otherwise.
+func (m *Model) State(r directory.Region) (State, directory.Sharers) {
+	if sh, ok := m.entries[r]; ok {
+		return StateV, sh
+	}
+	return StateI, 0
+}
+
+// Apply runs one event against a region and commits the outcome:
+// transitions into V store the updated sharer set, transitions into I
+// drop the entry.
+func (m *Model) Apply(r directory.Region, ev Event) (Outcome, error) {
+	st, sh := m.State(r)
+	out, err := m.Table.Apply(st, sh, ev)
+	if err != nil {
+		return out, err
+	}
+	switch out.Next {
+	case StateV:
+		m.entries[r] = out.Sharers
+	case StateI:
+		delete(m.entries, r)
+	default:
+		panic("spec: outcome state is neither V nor I")
+	}
+	return out, nil
+}
+
+// DropSharer mirrors DirCtrl.DropSharer, the optional Downgrade
+// bookkeeping outside Table I: remove the sharer if the region is
+// tracked, leaving the entry Valid even when the set empties.
+func (m *Model) DropSharer(r directory.Region, ev Event) {
+	if sh, ok := m.entries[r]; ok {
+		m.entries[r] = sh.Without(ev.Req.Bit())
+	}
+}
+
+// Len returns the number of Valid entries.
+func (m *Model) Len() int { return len(m.entries) }
+
+// Snapshot returns the Valid entries sorted by region, matching
+// directory.Dir.Snapshot for side-by-side comparison.
+func (m *Model) Snapshot() []Entry {
+	out := make([]Entry, 0, len(m.entries))
+	//lint:allow determinism the map walk feeds a sort; order cannot leak
+	for r, sh := range m.entries {
+		out = append(out, Entry{Region: r, Sharers: sh})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Region < out[j].Region })
+	return out
+}

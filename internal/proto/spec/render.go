@@ -1,0 +1,76 @@
+// Rendering the executable table back into documentation, so the
+// states × events table in DESIGN.md is generated from the same rules
+// the enumerator and differ execute and cannot drift from them.
+
+package spec
+
+import (
+	"fmt"
+	"strings"
+)
+
+var updateText = [...]string{
+	KeepSharers:   "keep sharers",
+	AddRequester:  "add requester",
+	OnlyRequester: "requester only",
+	ClearSharers:  "clear sharers",
+}
+
+var invText = [...]string{
+	InvNone:   "—",
+	InvOthers: "inv other sharers",
+	InvAll:    "inv full sharer set",
+}
+
+// String implements fmt.Stringer.
+func (u SharerUpdate) String() string {
+	if int(u) < len(updateText) {
+		return updateText[u]
+	}
+	return fmt.Sprintf("SharerUpdate(%d)", uint8(u))
+}
+
+// String implements fmt.Stringer.
+func (i InvRule) String() string {
+	if int(i) < len(invText) {
+		return invText[i]
+	}
+	return fmt.Sprintf("InvRule(%d)", uint8(i))
+}
+
+// RenderMarkdown renders one table instantiation as a GitHub markdown
+// table, one row per guarded rule in rule order.
+func RenderMarkdown(t Table) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "| State | Event | Guard | Next | Sharer set | Invalidations |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|---|---|\n")
+	for _, r := range t.Rules {
+		guard := "always"
+		if r.Guard != Always {
+			guard = r.Guard.String()
+		}
+		fmt.Fprintf(&b, "| %v | %v | %s | %v | %s | %s |\n",
+			r.State, r.Event, guard, r.Next, r.Update, r.Inv)
+	}
+	return b.String()
+}
+
+// RenderDoc renders the full DESIGN.md fragment: both instantiations
+// with their framing prose. DESIGN.md embeds this output verbatim
+// between the hmgspec:tablei markers; the spec package's DESIGN-sync
+// test fails when the embedded copy differs from this function's
+// output (regenerate with `go run ./cmd/hmgspec -render`).
+func RenderDoc() string {
+	var b strings.Builder
+	nhcc, hmg := NHCC(), HMG()
+	fmt.Fprintf(&b, "**%s (flat).** Requesters are GPMs named by global id; invalidations\n", nhcc.Name)
+	fmt.Fprintf(&b, "terminate at caches, never at another directory.\n\n")
+	b.WriteString(RenderMarkdown(nhcc))
+	fmt.Fprintf(&b, "\n**%s (hierarchical).** The same rows plus the `Invalidation` column,\n", hmg.Name)
+	fmt.Fprintf(&b, "used unchanged at both home levels. At the system home the sharer\n")
+	fmt.Fprintf(&b, "space mixes local GPM bits with whole-GPU bits; at a GPU home it is\n")
+	fmt.Fprintf(&b, "local GPM bits only, and `Invalidation` is how a system-home V→I\n")
+	fmt.Fprintf(&b, "reaches the GPM sharers hiding behind a GPU bit.\n\n")
+	b.WriteString(RenderMarkdown(hmg))
+	return b.String()
+}

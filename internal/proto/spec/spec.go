@@ -1,0 +1,345 @@
+// Package spec is the machine-readable encoding of paper Table I: the
+// NHCC/HMG directory transition table expressed as declarative guarded
+// rules — state × event × requester/sharer guard → {next state,
+// sharer-set update, emitted invalidations} — instead of prose above
+// the implementation.
+//
+// Three consumers sit on top of the encoding:
+//
+//   - Model (model.go): a pure spec-driven shadow directory that
+//     applies the table to region → sharer-set state.
+//   - Enumerate (enum.go): a small-model exhaustive enumerator that
+//     walks every reachable directory state of a 2-GPU × 2-GPM
+//     configuration and certifies the paper's structural claims: only
+//     V and I are ever reachable (zero transient states), nothing is
+//     tracked without a Valid entry, every V→I transition invalidates
+//     the full sharer set, and an HMG system-home invalidation of a
+//     GPU sharer forwards to that GPU's GPM sharers.
+//   - Diff (diff.go): a spec↔implementation differ that drives
+//     proto.DirCtrl and the spec side by side over the same generated
+//     event sequence and reports every transition where next state,
+//     sharer sets, invalidation targets, or intended-traffic counters
+//     disagree.
+//
+// RenderMarkdown (render.go) renders the table for DESIGN.md, so the
+// documented Table I cannot drift from the executable one.
+package spec
+
+import (
+	"fmt"
+
+	"hmg/internal/directory"
+	"hmg/internal/proto"
+)
+
+// State is a directory entry's stable state. Table I has exactly two;
+// the absence of transient states is the paper's headline protocol
+// claim and is what the enumerator certifies.
+type State uint8
+
+const (
+	// StateI is Invalid: no entry, nothing tracked.
+	StateI State = iota
+	// StateV is Valid: entry present, sharer set tracked.
+	StateV
+)
+
+var stateNames = [...]string{StateI: "I", StateV: "V"}
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// EventKind is a Table I column: the protocol event arriving at a home
+// node's directory.
+type EventKind uint8
+
+const (
+	// LocalLd is a load by the home GPM itself.
+	LocalLd EventKind = iota
+	// LocalSt is a store or atomic by the home GPM itself.
+	LocalSt
+	// RemoteLd is a load request from another node.
+	RemoteLd
+	// RemoteSt is a store or atomic request from another node.
+	RemoteSt
+	// ReplaceEntry is capacity/conflict replacement of the entry.
+	ReplaceEntry
+	// Invalidation is a system-home invalidation arriving at an HMG GPU
+	// home node — the one transition HMG adds over NHCC.
+	Invalidation
+
+	numEvents = 6
+)
+
+var eventNames = [...]string{
+	LocalLd: "LocalLd", LocalSt: "LocalSt", RemoteLd: "RemoteLd",
+	RemoteSt: "RemoteSt", ReplaceEntry: "ReplaceEntry", Invalidation: "Invalidation",
+}
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	if int(k) < len(eventNames) {
+		return eventNames[k]
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// hasRequester reports whether the event kind carries a requester.
+func (k EventKind) hasRequester() bool { return k == RemoteLd || k == RemoteSt }
+
+// Event is one concrete protocol event. Req is meaningful only for
+// RemoteLd and RemoteSt.
+type Event struct {
+	Kind EventKind
+	Req  proto.Requester
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	if !e.Kind.hasRequester() {
+		return e.Kind.String()
+	}
+	kind := "GPM"
+	if e.Req.IsGPU {
+		kind = "GPU"
+	}
+	return fmt.Sprintf("%v(%s%d)", e.Kind, kind, e.Req.ID)
+}
+
+// Guard restricts a rule to a subset of requester/sharer-set shapes.
+// Rules within one (state, event) cell match first-guard-wins; the last
+// rule of a cell must be Always so the cell is total.
+type Guard uint8
+
+const (
+	// Always matches every requester and sharer set.
+	Always Guard = iota
+	// OthersPresent matches when the sharer set minus the requester is
+	// non-empty — the "inv other sharers" arm of a remote store.
+	OthersPresent
+)
+
+var guardNames = [...]string{Always: "always", OthersPresent: "other sharers present"}
+
+// String implements fmt.Stringer.
+func (g Guard) String() string {
+	if int(g) < len(guardNames) {
+		return guardNames[g]
+	}
+	return fmt.Sprintf("Guard(%d)", uint8(g))
+}
+
+func (g Guard) matches(sh directory.Sharers, ev Event) bool {
+	switch g {
+	case Always:
+		return true
+	case OthersPresent:
+		return !sh.Without(ev.Req.Bit()).IsEmpty()
+	default:
+		panic(fmt.Sprintf("spec: unknown guard %d", uint8(g)))
+	}
+}
+
+// SharerUpdate is the rule's effect on the sharer set.
+type SharerUpdate uint8
+
+const (
+	// KeepSharers leaves the sharer set unchanged.
+	KeepSharers SharerUpdate = iota
+	// AddRequester adds the requester's bit.
+	AddRequester
+	// OnlyRequester replaces the set with just the requester — a store
+	// leaves the writer as the sole sharer.
+	OnlyRequester
+	// ClearSharers empties the set (the V→I transitions).
+	ClearSharers
+)
+
+// InvRule selects which sharers receive invalidation messages.
+type InvRule uint8
+
+const (
+	// InvNone emits no invalidations.
+	InvNone InvRule = iota
+	// InvOthers invalidates every sharer except the requester.
+	InvOthers
+	// InvAll invalidates the full sharer set (for the Invalidation
+	// event this is the HMG second-level forward).
+	InvAll
+)
+
+// Rule is one guarded Table I transition.
+type Rule struct {
+	State  State
+	Event  EventKind
+	Guard  Guard
+	Next   State
+	Update SharerUpdate
+	Inv    InvRule
+}
+
+// Table is one protocol instantiation of Table I.
+type Table struct {
+	// Name identifies the instantiation ("NHCC" or "HMG").
+	Name string
+	// Hierarchical tables admit GPU requesters (at the system home) and
+	// carry the Invalidation column; flat tables reject both.
+	Hierarchical bool
+	Rules        []Rule
+}
+
+// NHCC returns the flat instantiation: the Table I used by NHCC, where
+// every requester is a GPM named by its global id and the Invalidation
+// column does not exist — invalidations terminate at caches, never at
+// another directory.
+func NHCC() Table {
+	return Table{Name: "NHCC", Hierarchical: false, Rules: commonRules()}
+}
+
+// HMG returns the hierarchical, two-level instantiation: the same rows
+// as NHCC plus the Invalidation column, used unchanged at both home
+// levels. At the system home the sharer space mixes local GPM bits with
+// GPU bits (a whole GPU tracked as one sharer); at a GPU home it is
+// local GPM bits only, and the Invalidation event is how the system
+// home's V→I reaches the GPM sharers hiding behind a GPU bit.
+func HMG() Table {
+	return Table{Name: "HMG", Hierarchical: true, Rules: append(commonRules(),
+		Rule{State: StateI, Event: Invalidation, Guard: Always, Next: StateI, Update: KeepSharers, Inv: InvNone},
+		Rule{State: StateV, Event: Invalidation, Guard: Always, Next: StateI, Update: ClearSharers, Inv: InvAll},
+	)}
+}
+
+// commonRules are the Table I rows shared by the flat and hierarchical
+// instantiations.
+func commonRules() []Rule {
+	return []Rule{
+		{State: StateI, Event: LocalLd, Guard: Always, Next: StateI, Update: KeepSharers, Inv: InvNone},
+		{State: StateI, Event: LocalSt, Guard: Always, Next: StateI, Update: KeepSharers, Inv: InvNone},
+		{State: StateI, Event: RemoteLd, Guard: Always, Next: StateV, Update: AddRequester, Inv: InvNone},
+		{State: StateI, Event: RemoteSt, Guard: Always, Next: StateV, Update: AddRequester, Inv: InvNone},
+		{State: StateV, Event: LocalLd, Guard: Always, Next: StateV, Update: KeepSharers, Inv: InvNone},
+		{State: StateV, Event: LocalSt, Guard: Always, Next: StateI, Update: ClearSharers, Inv: InvAll},
+		{State: StateV, Event: RemoteLd, Guard: Always, Next: StateV, Update: AddRequester, Inv: InvNone},
+		{State: StateV, Event: RemoteSt, Guard: OthersPresent, Next: StateV, Update: OnlyRequester, Inv: InvOthers},
+		{State: StateV, Event: RemoteSt, Guard: Always, Next: StateV, Update: OnlyRequester, Inv: InvNone},
+		{State: StateV, Event: ReplaceEntry, Guard: Always, Next: StateI, Update: ClearSharers, Inv: InvAll},
+	}
+}
+
+// Outcome is the result of applying one event to one entry state.
+type Outcome struct {
+	Next    State
+	Sharers directory.Sharers
+	// Inv is the invalidation fan-out in the canonical proto.TargetsOf
+	// order.
+	Inv []proto.InvTarget
+	// Rule is the guarded row that fired.
+	Rule Rule
+}
+
+// Apply executes the table on one entry: given the current state and
+// sharer set, it returns the Table I outcome for ev. It is pure — the
+// caller owns all state (see Model for a stateful wrapper). Errors mark
+// events the instantiation declares impossible (GPU requesters or
+// Invalidation under a flat table, replacing an absent entry, a sharer
+// set tracked in state I), not protocol transitions.
+func (t Table) Apply(st State, sh directory.Sharers, ev Event) (Outcome, error) {
+	if st == StateI && !sh.IsEmpty() {
+		return Outcome{}, fmt.Errorf("spec[%s]: state I with non-empty sharer set %v", t.Name, sh)
+	}
+	if ev.Kind.hasRequester() && ev.Req.IsGPU && !t.Hierarchical {
+		return Outcome{}, fmt.Errorf("spec[%s]: GPU requester %d under a flat table", t.Name, ev.Req.ID)
+	}
+	if ev.Kind == Invalidation && !t.Hierarchical {
+		return Outcome{}, fmt.Errorf("spec[%s]: Invalidation is an HMG-only transition", t.Name)
+	}
+	if ev.Kind == ReplaceEntry && st == StateI {
+		return Outcome{}, fmt.Errorf("spec[%s]: ReplaceEntry on an absent entry", t.Name)
+	}
+	for _, r := range t.Rules {
+		if r.State != st || r.Event != ev.Kind || !r.Guard.matches(sh, ev) {
+			continue
+		}
+		out := Outcome{Next: r.Next, Rule: r}
+		switch r.Update {
+		case KeepSharers:
+			out.Sharers = sh
+		case AddRequester:
+			out.Sharers = sh.With(ev.Req.Bit())
+		case OnlyRequester:
+			out.Sharers = ev.Req.Bit()
+		case ClearSharers:
+			out.Sharers = 0
+		default:
+			panic(fmt.Sprintf("spec: unknown sharer update %d", uint8(r.Update)))
+		}
+		switch r.Inv {
+		case InvNone:
+		case InvOthers:
+			out.Inv = proto.TargetsOf(sh.Without(ev.Req.Bit()))
+		case InvAll:
+			out.Inv = proto.TargetsOf(sh)
+		default:
+			panic(fmt.Sprintf("spec: unknown inv rule %d", uint8(r.Inv)))
+		}
+		return out, nil
+	}
+	return Outcome{}, fmt.Errorf("spec[%s]: no rule for state %v event %v", t.Name, st, ev)
+}
+
+// Validate checks the table's structural discipline: every cell the
+// instantiation supports is present and total (ends in an Always
+// guard, no shadowed rules), ReplaceEntry exists only for V,
+// Invalidation cells exist exactly for hierarchical tables — and the
+// two invariants Table I states structurally: a transition into I
+// clears the sharer set, and every V→I transition invalidates the full
+// sharer set.
+func (t Table) Validate() error {
+	type cellKey struct {
+		st State
+		ev EventKind
+	}
+	cells := map[cellKey][]Rule{}
+	for _, r := range t.Rules {
+		cells[cellKey{r.State, r.Event}] = append(cells[cellKey{r.State, r.Event}], r)
+	}
+	for _, st := range []State{StateI, StateV} {
+		for ev := EventKind(0); ev < numEvents; ev++ {
+			rules := cells[cellKey{st, ev}]
+			want := true
+			switch {
+			case ev == ReplaceEntry && st == StateI:
+				want = false
+			case ev == Invalidation && !t.Hierarchical:
+				want = false
+			}
+			if !want {
+				if len(rules) > 0 {
+					return fmt.Errorf("spec[%s]: cell %v×%v must not exist", t.Name, st, ev)
+				}
+				continue
+			}
+			if len(rules) == 0 {
+				return fmt.Errorf("spec[%s]: missing cell %v×%v", t.Name, st, ev)
+			}
+			for i, r := range rules {
+				last := i == len(rules)-1
+				if last != (r.Guard == Always) {
+					return fmt.Errorf("spec[%s]: cell %v×%v rule %d: exactly the last rule must carry the Always guard", t.Name, st, ev, i)
+				}
+				if r.Next == StateI && r.Update != ClearSharers && !(r.State == StateI && r.Update == KeepSharers) {
+					return fmt.Errorf("spec[%s]: rule %v×%v→I must clear the sharer set", t.Name, st, ev)
+				}
+				if r.State == StateV && r.Next == StateI && r.Inv != InvAll {
+					return fmt.Errorf("spec[%s]: V→I rule for %v must invalidate the full sharer set", t.Name, ev)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,331 @@
+package spec
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"hmg/internal/directory"
+	"hmg/internal/proto"
+)
+
+func TestValidate(t *testing.T) {
+	for _, tab := range []Table{NHCC(), HMG()} {
+		if err := tab.Validate(); err != nil {
+			t.Errorf("%s: %v", tab.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBrokenTables(t *testing.T) {
+	drop := func(tab Table, st State, ev EventKind) Table {
+		var keep []Rule
+		for _, r := range tab.Rules {
+			if r.State != st || r.Event != ev {
+				keep = append(keep, r)
+			}
+		}
+		tab.Rules = keep
+		return tab
+	}
+	replace := func(tab Table, st State, ev EventKind, rules ...Rule) Table {
+		tab = drop(tab, st, ev)
+		tab.Rules = append(tab.Rules, rules...)
+		return tab
+	}
+	cases := []struct {
+		name string
+		tab  Table
+		want string
+	}{
+		{"missing cell", drop(NHCC(), StateV, RemoteSt), "missing cell"},
+		{"flat table with Invalidation", Table{Name: "bad", Hierarchical: false, Rules: HMG().Rules}, "must not exist"},
+		{"ReplaceEntry on I", replace(NHCC(), StateI, LocalLd,
+			Rule{State: StateI, Event: LocalLd, Guard: Always, Next: StateI},
+			Rule{State: StateI, Event: ReplaceEntry, Guard: Always, Next: StateI}), "must not exist"},
+		{"non-Always last rule", replace(NHCC(), StateV, RemoteSt,
+			Rule{State: StateV, Event: RemoteSt, Guard: Always, Next: StateV, Update: OnlyRequester},
+			Rule{State: StateV, Event: RemoteSt, Guard: OthersPresent, Next: StateV, Update: OnlyRequester, Inv: InvOthers}),
+			"Always guard"},
+		{"V→I keeping sharers", replace(NHCC(), StateV, LocalSt,
+			Rule{State: StateV, Event: LocalSt, Guard: Always, Next: StateI, Update: KeepSharers, Inv: InvAll}),
+			"clear the sharer set"},
+		{"V→I without full invalidation", replace(NHCC(), StateV, ReplaceEntry,
+			Rule{State: StateV, Event: ReplaceEntry, Guard: Always, Next: StateI, Update: ClearSharers, Inv: InvOthers}),
+			"full sharer set"},
+	}
+	for _, c := range cases {
+		err := c.tab.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want contains %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestApplyTransitions(t *testing.T) {
+	tab := HMG()
+	m1, m2 := proto.GPMRequester(1), proto.GPMRequester(2)
+	g1 := proto.GPURequester(1)
+
+	// I + RemoteLd → V{requester}, no invalidations.
+	out, err := tab.Apply(StateI, 0, Event{Kind: RemoteLd, Req: m1})
+	if err != nil || out.Next != StateV || out.Sharers != m1.Bit() || len(out.Inv) != 0 {
+		t.Fatalf("I+RemoteLd: %+v, %v", out, err)
+	}
+	// V + RemoteLd accumulates sharers.
+	out, err = tab.Apply(StateV, m1.Bit(), Event{Kind: RemoteLd, Req: g1})
+	if err != nil || out.Next != StateV || out.Sharers != m1.Bit().With(g1.Bit()) {
+		t.Fatalf("V+RemoteLd: %+v, %v", out, err)
+	}
+	// V + RemoteSt with other sharers: invalidate others, requester-only.
+	sh := m1.Bit().With(m2.Bit()).With(g1.Bit())
+	out, err = tab.Apply(StateV, sh, Event{Kind: RemoteSt, Req: m1})
+	if err != nil || out.Next != StateV || out.Sharers != m1.Bit() {
+		t.Fatalf("V+RemoteSt: %+v, %v", out, err)
+	}
+	if !targetsEqual(out.Inv, proto.TargetsOf(m2.Bit().With(g1.Bit()))) {
+		t.Fatalf("V+RemoteSt inv = %s", targetString(out.Inv))
+	}
+	// V + RemoteSt as sole sharer: no invalidations (the Always arm).
+	out, _ = tab.Apply(StateV, m1.Bit(), Event{Kind: RemoteSt, Req: m1})
+	if len(out.Inv) != 0 || out.Rule.Guard != Always {
+		t.Fatalf("sole-sharer store fired %+v", out.Rule)
+	}
+	// V + LocalSt → I invalidating the full set.
+	out, err = tab.Apply(StateV, sh, Event{Kind: LocalSt})
+	if err != nil || out.Next != StateI || out.Sharers != 0 || !targetsEqual(out.Inv, proto.TargetsOf(sh)) {
+		t.Fatalf("V+LocalSt: %+v, %v", out, err)
+	}
+	// V + Invalidation → I forwarding to the full set (HMG column).
+	out, err = tab.Apply(StateV, m1.Bit(), Event{Kind: Invalidation})
+	if err != nil || out.Next != StateI || !targetsEqual(out.Inv, proto.TargetsOf(m1.Bit())) {
+		t.Fatalf("V+Invalidation: %+v, %v", out, err)
+	}
+}
+
+func TestApplyRejectsInadmissibleEvents(t *testing.T) {
+	flat := NHCC()
+	cases := []struct {
+		name string
+		st   State
+		sh   directory.Sharers
+		ev   Event
+	}{
+		{"GPU requester under flat table", StateI, 0, Event{Kind: RemoteLd, Req: proto.GPURequester(1)}},
+		{"Invalidation under flat table", StateV, proto.GPMRequester(1).Bit(), Event{Kind: Invalidation}},
+		{"ReplaceEntry on absent entry", StateI, 0, Event{Kind: ReplaceEntry}},
+		{"sharers in state I", StateI, proto.GPMRequester(1).Bit(), Event{Kind: LocalLd}},
+	}
+	for _, c := range cases {
+		if _, err := flat.Apply(c.st, c.sh, c.ev); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestModel(t *testing.T) {
+	m := NewModel(HMG())
+	m1 := proto.GPMRequester(1)
+	if _, err := m.Apply(7, Event{Kind: RemoteLd, Req: m1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Apply(3, Event{Kind: RemoteLd, Req: proto.GPURequester(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if st, sh := m.State(7); st != StateV || sh != m1.Bit() {
+		t.Fatalf("State(7) = %v %v", st, sh)
+	}
+	snap := m.Snapshot()
+	if len(snap) != 2 || snap[0].Region != 3 || snap[1].Region != 7 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	// DropSharer empties the set but keeps the entry Valid, mirroring
+	// DirCtrl.DropSharer.
+	m.DropSharer(7, Event{Req: m1})
+	if st, sh := m.State(7); st != StateV || !sh.IsEmpty() {
+		t.Fatalf("post-drop State(7) = %v %v", st, sh)
+	}
+	// V→I removes the entry.
+	if _, err := m.Apply(7, Event{Kind: LocalSt}); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := m.State(7); st != StateI || m.Len() != 1 {
+		t.Fatalf("post-LocalSt: state %v, len %d", st, m.Len())
+	}
+}
+
+// TestEnumerate pins the exhaustive small-model closure: the reachable
+// state and transition counts are exact (any table edit that changes
+// reachability shows up here), and both instantiations certify the
+// paper's invariants — only V/I reachable, no sharers without a Valid
+// entry, full-sharer-set invalidation on every V→I, and (HMG) the
+// system-home invalidation forwarded to the GPU home's GPM sharers.
+func TestEnumerate(t *testing.T) {
+	cases := []struct {
+		tab                 Table
+		states, transitions int
+	}{
+		{NHCC(), 9, 104},
+		{HMG(), 9, 93},
+	}
+	for _, c := range cases {
+		rep, err := Enumerate(c.tab)
+		if err != nil {
+			t.Fatalf("%s: %v", c.tab.Name, err)
+		}
+		if rep.Err() != nil {
+			t.Errorf("%s: %v", c.tab.Name, rep.Err())
+		}
+		if rep.States != c.states || rep.Transitions != c.transitions {
+			t.Errorf("%s: states=%d transitions=%d, want %d/%d",
+				c.tab.Name, rep.States, rep.Transitions, c.states, c.transitions)
+		}
+	}
+}
+
+// TestEnumerateCatchesProtocolBug proves the enumerator has teeth: an
+// HMG table whose GPU home ignores system-home invalidations (keeps its
+// entry Valid) passes structural validation but breaks hmg-inv-forward
+// and hierarchical inclusion under enumeration — exactly the coherence
+// hole MutDropInvForward opens in the implementation.
+func TestEnumerateCatchesProtocolBug(t *testing.T) {
+	bad := HMG()
+	bad.Name = "HMG-ignore-inv"
+	for i, r := range bad.Rules {
+		if r.State == StateV && r.Event == Invalidation {
+			bad.Rules[i] = Rule{State: StateV, Event: Invalidation, Guard: Always,
+				Next: StateV, Update: KeepSharers, Inv: InvNone}
+		}
+	}
+	if err := bad.Validate(); err != nil {
+		t.Fatalf("broken table must still validate structurally: %v", err)
+	}
+	rep, err := Enumerate(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatal("enumerator missed the ignored invalidation")
+	}
+	found := map[string]bool{}
+	for _, v := range rep.Violations {
+		found[v.Invariant] = true
+	}
+	if !found["hmg-inv-forward"] {
+		t.Errorf("violations %v missing hmg-inv-forward", found)
+	}
+	if !found["hierarchical-inclusion"] {
+		t.Errorf("violations %v missing hierarchical-inclusion", found)
+	}
+}
+
+// TestDiffTrunkClean is the acceptance bar: zero divergences between
+// the spec and the unmutated DirCtrl under both instantiations, across
+// several seeds.
+func TestDiffTrunkClean(t *testing.T) {
+	for _, tab := range []Table{NHCC(), HMG()} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			cfg := DefaultDiffConfig(tab)
+			cfg.Seed = seed
+			divs, err := Diff(cfg)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", tab.Name, seed, err)
+			}
+			for _, d := range divs {
+				t.Errorf("%s seed %d: %v", tab.Name, seed, d)
+			}
+		}
+	}
+}
+
+// TestDiffMutationTeeth: each deliberate Mutation bit must make the
+// differ report divergences. MutDropInvForward only bites under the
+// hierarchical table — the flat sequence never delivers an Invalidation
+// event, which is pinned too (it documents why the differ must run the
+// HMG table for full teeth).
+func TestDiffMutationTeeth(t *testing.T) {
+	cases := []struct {
+		tab     Table
+		mu      proto.Mutation
+		diverge bool
+		field   string
+	}{
+		{NHCC(), proto.MutDropStoreInv, true, "inv-targets"},
+		{NHCC(), proto.MutDropInvForward, false, ""},
+		{NHCC(), proto.MutDropEvictInv, true, "evict-targets"},
+		{HMG(), proto.MutDropStoreInv, true, "inv-targets"},
+		{HMG(), proto.MutDropInvForward, true, "inv-targets"},
+		{HMG(), proto.MutDropEvictInv, true, "evict-targets"},
+	}
+	for _, c := range cases {
+		cfg := DefaultDiffConfig(c.tab)
+		cfg.Mutation = c.mu
+		divs, err := Diff(cfg)
+		if err != nil {
+			t.Fatalf("%s mut=%d: %v", c.tab.Name, c.mu, err)
+		}
+		if !c.diverge {
+			if len(divs) != 0 {
+				t.Errorf("%s mut=%d: unexpected divergences %v", c.tab.Name, c.mu, divs[0])
+			}
+			continue
+		}
+		if len(divs) == 0 {
+			t.Errorf("%s mut=%d: differ has no teeth", c.tab.Name, c.mu)
+			continue
+		}
+		if divs[0].Field != c.field {
+			t.Errorf("%s mut=%d: first divergence %v, want field %s", c.tab.Name, c.mu, divs[0], c.field)
+		}
+	}
+}
+
+func TestDiffRejectsBrokenConfig(t *testing.T) {
+	cfg := DefaultDiffConfig(NHCC())
+	cfg.Dir.Ways = 0
+	if _, err := Diff(cfg); err == nil {
+		t.Fatal("invalid directory config accepted")
+	}
+	bad := NHCC()
+	bad.Rules = bad.Rules[:3]
+	if _, err := Diff(DiffConfig{Table: bad, Dir: directory.Config{Entries: 8, Ways: 2, GranLines: 1}, Ops: 8}); err == nil {
+		t.Fatal("invalid table accepted")
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	md := RenderMarkdown(HMG())
+	for _, want := range []string{
+		"| State | Event | Guard | Next | Sharer set | Invalidations |",
+		"| V | RemoteSt | other sharers present | V | requester only | inv other sharers |",
+		"| V | Invalidation | always | I | clear sharers | inv full sharer set |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, md)
+		}
+	}
+	if strings.Contains(RenderMarkdown(NHCC()), "Invalidation |") {
+		t.Error("flat table rendered an Invalidation row")
+	}
+}
+
+// TestDesignDocSync: the Table I section of DESIGN.md is the verbatim
+// output of RenderDoc, so the documented table cannot drift from the
+// executable spec. Regenerate with `go run ./cmd/hmgspec -render`.
+func TestDesignDocSync(t *testing.T) {
+	const begin, end = "<!-- hmgspec:tablei:begin -->", "<!-- hmgspec:tablei:end -->"
+	raw, err := os.ReadFile("../../../DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(raw)
+	i, j := strings.Index(doc, begin), strings.Index(doc, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("DESIGN.md missing %s/%s markers", begin, end)
+	}
+	embedded := doc[i+len(begin) : j]
+	want := "\n" + RenderDoc() + "\n"
+	if embedded != want {
+		t.Errorf("DESIGN.md Table I section is stale; regenerate with `go run ./cmd/hmgspec -render`\n--- embedded ---\n%s\n--- rendered ---\n%s", embedded, want)
+	}
+}

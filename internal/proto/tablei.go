@@ -19,7 +19,9 @@ func GPMRequester(id int) Requester { return Requester{ID: id} }
 // GPURequester names a GPU requester.
 func GPURequester(id int) Requester { return Requester{IsGPU: true, ID: id} }
 
-func (r Requester) bit() directory.Sharers {
+// Bit returns the requester's sharer-set bit: a GPM bit for module
+// requesters, a GPU bit for whole-GPU requesters at an HMG system home.
+func (r Requester) Bit() directory.Sharers {
 	if r.IsGPU {
 		return directory.GPUBit(r.ID)
 	}
@@ -75,7 +77,7 @@ type DirCtrl struct {
 
 	// Stats for the Fig. 9/10 profiles.
 	StoresSeen       uint64 // remote/local stores consulting the directory
-	StoresSharedData uint64 // stores that found a tracked entry
+	StoresSharedData uint64 // stores that found a tracked entry with ≥1 sharer
 	StoresWithInvs   uint64 // stores that invalidated at least one sharer
 	LinesInvByStores uint64 // sharer targets × granularity lines, store-triggered
 	LinesInvByEvicts uint64 // sharer targets × granularity lines, eviction-triggered
@@ -89,7 +91,12 @@ func NewDirCtrl(cfg directory.Config) *DirCtrl {
 	return &DirCtrl{Dir: directory.New(cfg)}
 }
 
-func targetsOf(s directory.Sharers) []InvTarget {
+// TargetsOf expands a sharer set into the canonical invalidation target
+// list: GPM sharers in ascending index order, then GPU sharers in
+// ascending id order. The spec differ (internal/proto/spec) relies on
+// this ordering being the single definition shared with the
+// implementation, so target-list comparisons never trip on ordering.
+func TargetsOf(s directory.Sharers) []InvTarget {
 	var out []InvTarget
 	s.GPMs(func(i int) { out = append(out, InvTarget{ID: i}) })
 	s.GPUs(func(j int) { out = append(out, InvTarget{IsGPU: true, ID: j}) })
@@ -102,7 +109,7 @@ func targetsOf(s directory.Sharers) []InvTarget {
 // entry whose sharers must be invalidated.
 func (c *DirCtrl) RemoteLoad(l topo.Line, s Requester) (evictRegion directory.Region, evictTargets []InvTarget) {
 	e, victim := c.Dir.Ensure(c.Dir.RegionOf(l))
-	e.Sharers = e.Sharers.With(s.bit())
+	e.Sharers = e.Sharers.With(s.Bit())
 	return c.evictTargets(victim)
 }
 
@@ -111,13 +118,17 @@ func (c *DirCtrl) RemoteLoad(l topo.Line, s Requester) (evictRegion directory.Re
 func (c *DirCtrl) RemoteStore(l topo.Line, s Requester) (inv []InvTarget, evictRegion directory.Region, evictTargets []InvTarget) {
 	c.StoresSeen++
 	r := c.Dir.RegionOf(l)
-	if _, ok := c.Dir.Lookup(r); ok {
+	if e, ok := c.Dir.Lookup(r); ok && !e.Sharers.IsEmpty() {
+		// Shared data means someone is actually tracked: an entry whose
+		// sharer set was emptied by DropSharer downgrades represents no
+		// remote copies, so a store to it does not count toward the
+		// Fig. 9 stores-to-shared-data fraction (LocalStore agrees).
 		c.StoresSharedData++
 	}
 	e, victim := c.Dir.Ensure(r)
-	others := e.Sharers.Without(s.bit())
-	e.Sharers = e.Sharers.With(s.bit()).Without(others)
-	inv = targetsOf(others)
+	others := e.Sharers.Without(s.Bit())
+	e.Sharers = e.Sharers.With(s.Bit()).Without(others)
+	inv = TargetsOf(others)
 	if len(inv) > 0 {
 		c.StoresWithInvs++
 		c.InvMsgsByStores += uint64(len(inv))
@@ -140,8 +151,12 @@ func (c *DirCtrl) LocalStore(l topo.Line) []InvTarget {
 	if !ok {
 		return nil
 	}
-	c.StoresSharedData++
-	inv := targetsOf(e.Sharers)
+	if !e.Sharers.IsEmpty() {
+		// Same shared-data semantics as RemoteStore: a downgraded-empty
+		// entry tracks no remote copy.
+		c.StoresSharedData++
+	}
+	inv := TargetsOf(e.Sharers)
 	c.Dir.Drop(r)
 	if len(inv) > 0 {
 		c.StoresWithInvs++
@@ -162,12 +177,15 @@ func (c *DirCtrl) Invalidation(r directory.Region) []InvTarget {
 	if !ok {
 		return nil
 	}
-	inv := targetsOf(e.Sharers)
+	inv := TargetsOf(e.Sharers)
 	c.Dir.Drop(r)
+	// Counters record protocol-intended traffic, so they accumulate
+	// before any mutation drop — exactly as the store paths count
+	// InvMsgsByStores before MutDropStoreInv suppresses the messages.
+	c.InvMsgsForwarded += uint64(len(inv))
 	if c.Mutate.Has(MutDropInvForward) {
 		return nil
 	}
-	c.InvMsgsForwarded += uint64(len(inv))
 	return inv
 }
 
@@ -176,7 +194,7 @@ func (c *DirCtrl) Invalidation(r directory.Region) []InvTarget {
 // valid; they cost a future invalidation only if re-evicted.
 func (c *DirCtrl) DropSharer(l topo.Line, s Requester) {
 	if e, ok := c.Dir.Lookup(c.Dir.RegionOf(l)); ok {
-		e.Sharers = e.Sharers.Without(s.bit())
+		e.Sharers = e.Sharers.Without(s.Bit())
 	}
 }
 
@@ -184,11 +202,15 @@ func (c *DirCtrl) evictTargets(victim *directory.Entry) (directory.Region, []Inv
 	if victim == nil {
 		return 0, nil
 	}
-	if c.Mutate.Has(MutDropEvictInv) {
-		return 0, nil
-	}
-	inv := targetsOf(victim.Sharers)
+	inv := TargetsOf(victim.Sharers)
 	c.InvMsgsByEvicts += uint64(len(inv))
 	c.LinesInvByEvicts += uint64(len(inv) * c.Dir.Config().GranLines)
+	if c.Mutate.Has(MutDropEvictInv) {
+		// The mutation drops the invalidation messages, not the fact of
+		// the eviction: callers still learn the real victim region
+		// (a zero Region is indistinguishable from "no victim"), and the
+		// counters above keep recording the protocol-intended traffic.
+		return victim.Region, nil
+	}
 	return victim.Region, inv
 }

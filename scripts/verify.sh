@@ -14,6 +14,11 @@
 # The conformance tier runs the hmgcheck sweep (seeded litmus cases plus
 # the benchmark suite under every protocol with the invariant checker
 # attached) and a short burst of coverage-guided litmus fuzzing.
+#
+# The spec tier runs cmd/hmgspec: the machine-readable Table I is
+# validated, exhaustively enumerated on the small model, and diffed
+# against proto.DirCtrl — then each deliberate proto.Mutation bit is
+# injected and the diff must FAIL, proving the tier has teeth.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,6 +42,18 @@ go test -race -short ./...
 
 echo "== go test -race (full, experiments)"
 go test -race ./internal/experiments/...
+
+echo "== Table I spec certification (hmgspec)"
+HMGSPEC_BIN="$(dirname "$HMGLINT_BIN")/hmgspec"
+go build -o "$HMGSPEC_BIN" ./cmd/hmgspec
+"$HMGSPEC_BIN"
+for bit in 1 2 4; do
+  if "$HMGSPEC_BIN" -mutate "$bit" >/dev/null 2>&1; then
+    echo "hmgspec -mutate $bit passed: the spec differ has no teeth" >&2
+    exit 1
+  fi
+done
+echo "hmgspec: all 3 mutation bits diverge from the spec (teeth OK)"
 
 echo "== conformance sweep (hmgcheck)"
 go run ./cmd/hmgcheck -seeds 64 -scale 0.1
