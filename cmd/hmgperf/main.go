@@ -1,0 +1,269 @@
+// Command hmgperf is the reproducible performance harness behind the
+// repo's committed BENCH_*.json trajectory: it runs a fixed
+// benchmark×protocol matrix at a pinned scale and writes one JSON
+// snapshot per invocation (simulated cycles, events, allocs/event,
+// ns/event, Mevents/s per cell). Simulated cycles and event counts are
+// byte-identical run-to-run and machine-to-machine — the simulator is
+// deterministic — so a baseline snapshot doubles as a regression gate:
+//
+//	hmgperf                              # run matrix, write BENCH_<date>.json
+//	hmgperf -o BENCH_baseline.json       # explicit output path
+//	hmgperf -against BENCH_baseline.json # compare mode: exit 1 on regression
+//
+// Compare mode fails hard on any drift in simulated cycles or event
+// counts (an optimization changed behavior — the determinism contract
+// is broken) and on allocs/event growth beyond a small noise floor (the
+// zero-alloc hot path regressed). Wall-clock metrics (ns/event,
+// Mevents/s) are advisory only: hmgperf warns past -wall-threshold but
+// never fails on them, so the gate stays green on slow or noisy CI
+// machines while still recording the trajectory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"hmg/internal/experiments"
+	"hmg/internal/gsim"
+	"hmg/internal/proto"
+	"hmg/internal/workload"
+)
+
+// The pinned matrix: three workloads with distinct sharing behavior
+// (dense ML, adaptive-mesh HPC, irregular graph) under the software
+// hierarchical, flat hardware, and hierarchical hardware (HMG)
+// protocols. Changing the matrix invalidates committed baselines, so it
+// is code, not flags.
+var (
+	matrixBenches   = []string{"lstm", "MiniAMR", "bfs"}
+	matrixProtocols = []proto.Kind{proto.SWHier, proto.NHCC, proto.HMG}
+)
+
+// pinned matrix scale: large enough that steady-state behavior
+// dominates, small enough for a CI tier.
+const matrixScale = 0.25
+
+// Snapshot is one BENCH_*.json file.
+type Snapshot struct {
+	Schema    string  `json:"schema"`
+	Created   string  `json:"created"`
+	GoVersion string  `json:"go_version"`
+	Scale     float64 `json:"scale"`
+	SMsPerGPM int     `json:"sms_per_gpm"`
+	Runs      []Run   `json:"runs"`
+}
+
+// Run is one cell of the matrix. Cycles, Events, and Allocs are
+// deterministic; the wall-clock fields vary by machine and are
+// advisory.
+type Run struct {
+	Bench    string `json:"bench"`
+	Protocol string `json:"protocol"`
+
+	Cycles uint64 `json:"cycles"`
+	Events uint64 `json:"events"`
+	Allocs uint64 `json:"allocs"`
+
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	WallMS         float64 `json:"wall_ms"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	MEventsPerSec  float64 `json:"mevents_per_sec"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default BENCH_<date>.json; empty in compare mode)")
+	against := flag.String("against", "", "baseline BENCH_*.json to compare against (compare mode)")
+	allocTol := flag.Float64("alloc-threshold", 0.02, "relative allocs/event growth tolerated before failing")
+	wallTol := flag.Float64("wall-threshold", 1.5, "ns/event ratio over baseline that triggers an advisory warning")
+	sms := flag.Int("sms", 8, "modeled SMs per GPM (must match the baseline)")
+	flag.Parse()
+
+	snap, err := runMatrix(*sms)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hmgperf: %v\n", err)
+		os.Exit(2)
+	}
+
+	path := *out
+	if path == "" && *against == "" {
+		path = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
+	}
+	if path != "" {
+		buf, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hmgperf: %v\n", err)
+			os.Exit(2)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "hmgperf: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote %s (%d runs)\n", path, len(snap.Runs))
+	}
+
+	if *against != "" {
+		base, err := readSnapshot(*against)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hmgperf: %v\n", err)
+			os.Exit(2)
+		}
+		if failed := compare(base, snap, *allocTol, *wallTol); failed {
+			os.Exit(1)
+		}
+	}
+}
+
+// runMatrix executes every matrix cell once and measures it. Each cell
+// isolates simulation allocations by reading memory statistics after
+// system construction and trace generation (setup) and again after the
+// run.
+func runMatrix(sms int) (*Snapshot, error) {
+	r, err := experiments.NewRunner(experiments.Options{Scale: matrixScale, SMsPerGPM: sms})
+	if err != nil {
+		return nil, err
+	}
+	snap := &Snapshot{
+		Schema:    "hmgperf/v1",
+		Created:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Scale:     matrixScale,
+		SMsPerGPM: sms,
+	}
+	for _, abbrev := range matrixBenches {
+		bench, err := workload.Get(abbrev)
+		if err != nil {
+			return nil, err
+		}
+		for _, kind := range matrixProtocols {
+			cell, err := runCell(r, bench, kind)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(os.Stderr, "  %-10s %-12v %10d cycles %9d events  %6.3f allocs/ev  %7.1f ns/ev  %5.2f Mev/s\n",
+				cell.Bench, cell.Protocol, cell.Cycles, cell.Events,
+				cell.AllocsPerEvent, cell.NsPerEvent, cell.MEventsPerSec)
+			snap.Runs = append(snap.Runs, cell)
+		}
+	}
+	return snap, nil
+}
+
+func runCell(r *experiments.Runner, bench workload.Params, kind proto.Kind) (Run, error) {
+	cfg := r.Config(kind, experiments.Variant{})
+	sys, err := gsim.New(cfg)
+	if err != nil {
+		return Run{}, err
+	}
+	tr := bench.Generate(cfg.Topo, matrixScale)
+
+	// Setup (system construction, trace generation) is excluded from the
+	// allocation and wall-clock windows: the gate tracks the steady-state
+	// simulation loop, not one-time warm-up.
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := sys.Run(tr)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return Run{}, err
+	}
+
+	allocs := after.Mallocs - before.Mallocs
+	cell := Run{
+		Bench:    bench.Abbrev,
+		Protocol: kind.String(),
+		Cycles:   uint64(res.Cycles),
+		Events:   res.EventsExecuted,
+		Allocs:   allocs,
+		WallMS:   float64(wall.Nanoseconds()) / 1e6,
+	}
+	if res.EventsExecuted > 0 {
+		cell.AllocsPerEvent = float64(allocs) / float64(res.EventsExecuted)
+		cell.NsPerEvent = float64(wall.Nanoseconds()) / float64(res.EventsExecuted)
+	}
+	if wall > 0 {
+		cell.MEventsPerSec = float64(res.EventsExecuted) / wall.Seconds() / 1e6
+	}
+	return cell, nil
+}
+
+func readSnapshot(path string) (*Snapshot, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if s.Schema != "hmgperf/v1" {
+		return nil, fmt.Errorf("%s: unknown schema %q", path, s.Schema)
+	}
+	return &s, nil
+}
+
+// compare gates the current snapshot against a baseline. Hard failures:
+// missing cells, any cycle or event-count drift (the optimization
+// changed simulated behavior), and allocs/event growth beyond allocTol
+// (plus a 0.01 absolute noise floor). Advisory: ns/event beyond wallTol
+// times the baseline.
+func compare(base, cur *Snapshot, allocTol, wallTol float64) (failed bool) {
+	if base.Scale != cur.Scale || base.SMsPerGPM != cur.SMsPerGPM {
+		fmt.Fprintf(os.Stderr, "FAIL: matrix mismatch: baseline scale=%v sms=%d, current scale=%v sms=%d\n",
+			base.Scale, base.SMsPerGPM, cur.Scale, cur.SMsPerGPM)
+		return true
+	}
+	current := make(map[string]Run, len(cur.Runs))
+	for _, r := range cur.Runs {
+		current[r.Bench+"/"+r.Protocol] = r
+	}
+	for _, want := range base.Runs {
+		key := want.Bench + "/" + want.Protocol
+		got, ok := current[key]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "FAIL: %s: in baseline but not in current matrix\n", key)
+			failed = true
+			continue
+		}
+		if got.Cycles != want.Cycles {
+			fmt.Fprintf(os.Stderr, "FAIL: %s: simulated cycles drifted: baseline %d, current %d\n",
+				key, want.Cycles, got.Cycles)
+			failed = true
+		}
+		if got.Events != want.Events {
+			fmt.Fprintf(os.Stderr, "FAIL: %s: event count drifted: baseline %d, current %d\n",
+				key, want.Events, got.Events)
+			failed = true
+		}
+		if got.AllocsPerEvent > want.AllocsPerEvent*(1+allocTol)+0.01 {
+			fmt.Fprintf(os.Stderr, "FAIL: %s: allocs/event regressed: baseline %.4f, current %.4f\n",
+				key, want.AllocsPerEvent, got.AllocsPerEvent)
+			failed = true
+		}
+		if want.NsPerEvent > 0 && got.NsPerEvent > want.NsPerEvent*wallTol {
+			fmt.Fprintf(os.Stderr, "WARN: %s: ns/event %.1f vs baseline %.1f (advisory only)\n",
+				key, got.NsPerEvent, want.NsPerEvent)
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "hmgperf: regression against", baseLabel(base))
+	} else {
+		fmt.Printf("hmgperf: %d cells match %s (cycles, events, allocs/event)\n",
+			len(base.Runs), baseLabel(base))
+	}
+	return failed
+}
+
+func baseLabel(s *Snapshot) string {
+	if s.Created != "" {
+		return "baseline of " + s.Created
+	}
+	return "baseline"
+}

@@ -1,11 +1,18 @@
 // Package engine implements the discrete-event simulation kernel that
 // drives every timing model in this repository.
 //
-// The kernel is a single-threaded event loop over a binary heap of
-// scheduled closures. Components (caches, links, DRAM partitions, SMs)
-// never block; they schedule follow-up events at future cycles. Ties at
-// the same cycle are broken by insertion order, which makes simulations
+// The kernel is a single-threaded event loop over a monomorphic 4-ary
+// min-heap of scheduled callbacks, stored as a flat []event value slice
+// (no per-event heap object, no interface boxing). Components (caches,
+// links, DRAM partitions, SMs) never block; they schedule follow-up
+// events at future cycles. Ties at the same cycle are broken by
+// insertion order (a monotone sequence number), which makes simulations
 // fully deterministic for a given input.
+//
+// Steady-state scheduling is allocation-free: the event slice is grown
+// once and reused, and hot callers can avoid closure allocation
+// entirely by scheduling a reusable Handler (see ScheduleHandler) drawn
+// from their own free list.
 //
 // Cycles are the only unit of time inside a simulation. The Engine knows
 // the clock frequency solely so that results can be reported in seconds
@@ -13,7 +20,6 @@
 package engine
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -26,36 +32,99 @@ type Cycle uint64
 // the default horizon.
 const MaxCycle = Cycle(math.MaxUint64)
 
-// Event is a unit of scheduled work. The callback runs exactly once, at
-// the event's cycle.
+// Handler is a reusable scheduled callback. Hot paths that would
+// otherwise allocate a fresh closure per scheduled hop implement Handle
+// on a pooled context struct and pass it to ScheduleHandler: a pointer
+// in an interface value schedules without any heap allocation.
+type Handler interface {
+	Handle()
+}
+
+// event is a unit of scheduled work, stored by value in the queue. The
+// callback runs exactly once, at the event's cycle: h.Handle() when a
+// Handler was scheduled, fn() otherwise.
 type event struct {
 	at  Cycle
 	seq uint64
 	fn  func()
+	h   Handler
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before is the strict ordering of the event queue: time, then
+// insertion order within a cycle (same-cycle FIFO).
+func (ev *event) before(other *event) bool {
+	if ev.at != other.at {
+		return ev.at < other.at
 	}
-	return h[i].seq < h[j].seq
+	return ev.seq < other.seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+// eventQueue is a 4-ary min-heap over event values. A 4-ary layout
+// halves the tree depth of a binary heap, trading a slightly wider
+// min-child scan (cheap: the children share a cache line or two) for
+// fewer levels of sift memory traffic — the classic d-ary heap tradeoff
+// that favors push/pop-heavy discrete-event loops. The backing slice is
+// the event free list: pops shrink the length but keep capacity, so a
+// warmed-up queue never allocates again.
+type eventQueue struct {
+	evs []event
+}
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+func (q *eventQueue) len() int { return len(q.evs) }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+// push appends ev and restores the heap order by sifting it up.
+func (q *eventQueue) push(ev event) {
+	q.evs = append(q.evs, ev)
+	i := len(q.evs) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !q.evs[i].before(&q.evs[parent]) {
+			break
+		}
+		q.evs[i], q.evs[parent] = q.evs[parent], q.evs[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event. The vacated tail slot is
+// zeroed so the queue never pins dead closures or contexts for the
+// garbage collector.
+func (q *eventQueue) pop() event {
+	root := q.evs[0]
+	n := len(q.evs) - 1
+	q.evs[0] = q.evs[n]
+	q.evs[n] = event{}
+	q.evs = q.evs[:n]
+	if n > 1 {
+		q.siftDown(0)
+	}
+	return root
+}
+
+// siftDown restores heap order below index i.
+func (q *eventQueue) siftDown(i int) {
+	n := len(q.evs)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if q.evs[c].before(&q.evs[min]) {
+				min = c
+			}
+		}
+		if !q.evs[min].before(&q.evs[i]) {
+			return
+		}
+		q.evs[i], q.evs[min] = q.evs[min], q.evs[i]
+		i = min
+	}
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; use
@@ -63,7 +132,7 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now     Cycle
 	seq     uint64
-	queue   eventHeap
+	queue   eventQueue
 	freqHz  float64
 	stopped bool
 
@@ -108,12 +177,29 @@ func (e *Engine) Schedule(delay Cycle, fn func()) {
 	if fn == nil {
 		panic("engine: Schedule called with nil callback")
 	}
+	e.seq++
+	e.queue.push(event{at: e.deadline(delay), seq: e.seq, fn: fn})
+}
+
+// ScheduleHandler runs h.Handle() after delay cycles, with the same
+// ordering semantics as Schedule. Unlike Schedule, it performs no heap
+// allocation when h is a pooled pointer context, which makes it the
+// scheduling path for per-hop continuations in the simulator core.
+func (e *Engine) ScheduleHandler(delay Cycle, h Handler) {
+	if h == nil {
+		panic("engine: ScheduleHandler called with nil handler")
+	}
+	e.seq++
+	e.queue.push(event{at: e.deadline(delay), seq: e.seq, h: h})
+}
+
+// deadline converts a delay to an absolute cycle, panicking on overflow.
+func (e *Engine) deadline(delay Cycle) Cycle {
 	at := e.now + delay
 	if at < e.now {
 		panic(fmt.Sprintf("engine: schedule overflow at cycle %d + %d", e.now, delay))
 	}
-	e.seq++
-	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+	return at
 }
 
 // ScheduleAt runs fn at the absolute cycle at, which must not be in the
@@ -125,28 +211,58 @@ func (e *Engine) ScheduleAt(at Cycle, fn func()) {
 	e.Schedule(at-e.now, fn)
 }
 
-// Pending reports the number of events waiting in the queue.
-func (e *Engine) Pending() int { return len(e.queue) }
+// ScheduleHandlerAt runs h.Handle() at the absolute cycle at, which must
+// not be in the past.
+func (e *Engine) ScheduleHandlerAt(at Cycle, h Handler) {
+	if at < e.now {
+		panic(fmt.Sprintf("engine: ScheduleHandlerAt(%d) in the past (now %d)", at, e.now))
+	}
+	e.ScheduleHandler(at-e.now, h)
+}
 
-// Stop makes the current Run call return after the in-flight event
-// completes. It may be called from inside an event callback.
+// Pending reports the number of events waiting in the queue.
+func (e *Engine) Pending() int { return e.queue.len() }
+
+// Stop makes the engine's Run loop return after the in-flight event
+// completes. Stop is sticky until observed: if no Run is in flight, the
+// next Run call returns immediately without executing anything. The Run
+// call that observes the stop consumes it, so subsequent Run calls
+// resume normally.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Run executes events in time order until the queue drains, Stop is
-// called, or the next event would be after horizon. It returns the
-// simulation time at exit.
+// observed, or the next event would be after horizon. It returns the
+// simulation time at exit:
+//
+//   - horizon exit: now has advanced to horizon (idle tail included), so
+//     callers deriving elapsed time from the return value see the whole
+//     window they asked for;
+//   - queue drained: now is the time of the last executed event — no
+//     further work exists, so simulated time stops with it (Drain
+//     depends on this: a MaxCycle horizon must not teleport the clock);
+//   - Stop observed: now is the time of the stopping event (or unchanged
+//     for a stop pending at entry), and the stop is consumed.
 func (e *Engine) Run(horizon Cycle) Cycle {
-	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
-		ev := e.queue[0]
-		if ev.at > horizon {
-			break
+	for !e.stopped {
+		if e.queue.len() == 0 {
+			return e.now
 		}
-		heap.Pop(&e.queue)
+		if e.queue.evs[0].at > horizon {
+			if horizon > e.now {
+				e.now = horizon
+			}
+			return e.now
+		}
+		ev := e.queue.pop()
 		e.now = ev.at
 		e.Executed++
-		ev.fn()
+		if ev.h != nil {
+			ev.h.Handle()
+		} else {
+			ev.fn()
+		}
 	}
+	e.stopped = false // the stop is consumed by the Run that observed it
 	return e.now
 }
 

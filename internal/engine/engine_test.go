@@ -244,6 +244,163 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
+// TestStopStickyBeforeRun pins the sticky-Stop contract: a Stop issued
+// with no Run in flight makes the next Run return immediately without
+// executing anything, and is consumed by that Run.
+func TestStopStickyBeforeRun(t *testing.T) {
+	e := New(0)
+	count := 0
+	for i := 0; i < 5; i++ {
+		e.Schedule(Cycle(i+1), func() { count++ })
+	}
+	e.Stop()
+	if at := e.Run(MaxCycle); at != 0 {
+		t.Fatalf("stopped Run returned %d, want 0", at)
+	}
+	if count != 0 {
+		t.Fatalf("stopped Run executed %d events, want 0", count)
+	}
+	// The stop was consumed: the next Run resumes.
+	e.Drain()
+	if count != 5 {
+		t.Fatalf("count = %d after resume, want 5", count)
+	}
+}
+
+// TestStopStickyBetweenRuns pins that a Stop issued between Run calls is
+// not silently discarded by the next Run.
+func TestStopStickyBetweenRuns(t *testing.T) {
+	e := New(0)
+	count := 0
+	for i := 0; i < 6; i++ {
+		e.Schedule(Cycle(i+1), func() { count++ })
+	}
+	e.Run(3)
+	if count != 3 {
+		t.Fatalf("count = %d after Run(3), want 3", count)
+	}
+	e.Stop()
+	e.Run(MaxCycle)
+	if count != 3 {
+		t.Fatalf("count = %d: Run discarded a pending Stop", count)
+	}
+	e.Drain()
+	if count != 6 {
+		t.Fatalf("count = %d after resume, want 6", count)
+	}
+}
+
+// TestRunHorizonAdvancesNow pins the idle-tail contract: when Run exits
+// because the next event is past the horizon, the clock advances to the
+// horizon, so elapsed time derived from the return value includes the
+// idle tail.
+func TestRunHorizonAdvancesNow(t *testing.T) {
+	e := New(0)
+	ran := 0
+	for _, d := range []Cycle{5, 10, 15, 20} {
+		e.Schedule(d, func() { ran++ })
+	}
+	if at := e.Run(12); at != 12 {
+		t.Fatalf("Run(12) returned %d, want 12", at)
+	}
+	if e.Now() != 12 {
+		t.Fatalf("Now = %d after horizon exit, want 12", e.Now())
+	}
+	if ran != 2 {
+		t.Fatalf("ran %d events before horizon 12, want 2", ran)
+	}
+	// A drained exit leaves the clock at the last executed event.
+	if at := e.Drain(); at != 20 {
+		t.Fatalf("Drain returned %d, want 20", at)
+	}
+	// A horizon behind the clock never moves time backwards.
+	e.Schedule(100, func() { ran++ })
+	if at := e.Run(12); at != 20 {
+		t.Fatalf("Run(12) with now=20 returned %d, want 20", at)
+	}
+}
+
+// TestScheduleSteadyStateZeroAlloc pins the zero-alloc contract: once
+// the queue storage is warm, Schedule with a preallocated callback plus
+// dispatch allocates nothing, and neither does the pooled-handler path.
+func TestScheduleSteadyStateZeroAlloc(t *testing.T) {
+	e := New(0)
+	fn := func() {}
+	for i := 0; i < 4096; i++ {
+		e.Schedule(Cycle(i%64), fn)
+	}
+	e.Drain()
+	if allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 64; i++ {
+			e.Schedule(Cycle(i%16), fn)
+		}
+		e.Drain()
+	}); allocs != 0 {
+		t.Fatalf("steady-state Schedule+Drain allocated %v objects per run, want 0", allocs)
+	}
+	h := &countHandler{}
+	if allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 64; i++ {
+			e.ScheduleHandler(Cycle(i%16), h)
+		}
+		e.Drain()
+	}); allocs != 0 {
+		t.Fatalf("steady-state ScheduleHandler+Drain allocated %v objects per run, want 0", allocs)
+	}
+	if h.n == 0 {
+		t.Fatal("handler never dispatched")
+	}
+}
+
+type countHandler struct{ n int }
+
+func (h *countHandler) Handle() { h.n++ }
+
+// selfHandler reschedules itself until its budget runs out — the
+// tightest possible schedule/dispatch loop for BenchmarkRunHot.
+type selfHandler struct {
+	e    *Engine
+	left int
+}
+
+func (h *selfHandler) Handle() {
+	if h.left > 0 {
+		h.left--
+		h.e.ScheduleHandler(1, h)
+	}
+}
+
+// BenchmarkSchedule measures steady-state push/pop cost with a warm
+// queue and a preallocated callback; allocs/op must be 0.
+func BenchmarkSchedule(b *testing.B) {
+	e := New(0)
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		e.Schedule(Cycle(i%64), fn)
+	}
+	e.Drain()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Cycle(i&63), fn)
+		if e.Pending() >= 1024 {
+			e.Drain()
+		}
+	}
+	e.Drain()
+}
+
+// BenchmarkRunHot measures the full schedule+dispatch cycle through a
+// self-rescheduling pooled handler; allocs/op must be 0.
+func BenchmarkRunHot(b *testing.B) {
+	e := New(0)
+	h := &selfHandler{e: e, left: b.N}
+	e.ScheduleHandler(1, h)
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Drain()
+}
+
 func BenchmarkScheduleDrain(b *testing.B) {
 	e := New(0)
 	b.ReportAllocs()

@@ -60,20 +60,30 @@ func (sm *SM) startLoad(op trace.Op, isAcq bool, done func(uint64)) {
 	if l1OK {
 		if e, hit := sm.L1.Lookup(line); hit {
 			v, _ := e.Value(word)
-			s.Eng.Schedule(s.Cfg.L1Latency, func() { done(v) })
+			c := s.newCtx(stageLoadValue)
+			c.done, c.v = done, v
+			s.Eng.ScheduleHandler(s.Cfg.L1Latency, c)
 			return
 		}
 	}
-	s.Eng.Schedule(s.Cfg.L1Latency, func() {
-		s.requesterL2Load(sm, op, line, func(fill fillData) {
-			if l1OK {
-				e, _ := sm.L1.Fill(line)
-				if s.Cfg.TrackValues {
-					e.MergeFrom(fill)
-				}
+	c := s.newCtx(stageLoadMiss)
+	c.sm, c.op, c.line, c.word, c.flag, c.done = sm, op, line, word, l1OK, done
+	s.Eng.ScheduleHandler(s.Cfg.L1Latency, c)
+}
+
+// loadAfterL1Miss is the SM-side continuation of startLoad one L1
+// latency after issue: route the load into the L2 hierarchy and install
+// the response in the L1 when the scope permitted an L1 lookup.
+func (sm *SM) loadAfterL1Miss(op trace.Op, line topo.Line, word uint16, l1OK bool, done func(uint64)) {
+	s := sm.sys
+	s.requesterL2Load(sm, op, line, func(fill fillData) {
+		if l1OK {
+			e, _ := sm.L1.Fill(line)
+			if s.Cfg.TrackValues {
+				e.MergeFrom(fill)
 			}
-			done(valOf(fill, word))
-		})
+		}
+		done(valOf(fill, word))
 	})
 }
 
@@ -148,13 +158,9 @@ func (s *System) requesterL2Load(sm *SM, op trace.Op, line topo.Line, reply func
 	}
 	if fillHere {
 		// Probe the local slice before going out.
-		s.Eng.Schedule(s.Cfg.L2Latency, func() {
-			if e, hit := gpm.L2.Lookup(line); hit {
-				reply(e.Data)
-				return
-			}
-			proceed()
-		})
+		c := s.newCtx(stageRequesterProbe)
+		c.g, c.line, c.reply, c.next = g, line, reply, proceed
+		s.Eng.ScheduleHandler(s.Cfg.L2Latency, c)
 		return
 	}
 	proceed()
@@ -180,30 +186,38 @@ func (s *System) flatRequester(g, sysHome topo.GPMID) proto.Requester {
 // request arrival.
 func (s *System) gpuHomeLoad(h, fromGPM topo.GPMID, op trace.Op, line topo.Line, reply func(fillData)) {
 	gpm := s.gpmOf(h)
-	scope := s.effScope(op.Scope)
-	sysHome := s.Pages.SysHome(line)
 	// Record the requesting GPM at request time; the system home will
 	// only ever learn the GPU.
 	if gpm.Dir != nil && fromGPM != h {
 		evR, evT := gpm.Dir.RemoteLoad(line, proto.GPMRequester(s.Cfg.Topo.LocalOf(fromGPM)))
 		s.sendInvs(gpm, evR, evT)
 	}
-	s.Eng.Schedule(s.Cfg.L2Latency, func() {
-		if scope <= trace.ScopeGPU {
-			if e, hit := gpm.L2.Lookup(line); hit {
-				reply(e.Data)
-				return
-			}
+	c := s.newCtx(stageGPUHomeLoad)
+	c.g, c.op, c.line, c.reply = h, op, line, reply
+	s.Eng.ScheduleHandler(s.Cfg.L2Latency, c)
+}
+
+// gpuHomeLoadAtL2 is the GPU-home continuation of gpuHomeLoad one L2
+// latency after request arrival: home L2 lookup, then a merged fetch
+// from the system home on a miss.
+func (s *System) gpuHomeLoadAtL2(h topo.GPMID, op trace.Op, line topo.Line, reply func(fillData)) {
+	gpm := s.gpmOf(h)
+	scope := s.effScope(op.Scope)
+	sysHome := s.Pages.SysHome(line)
+	if scope <= trace.ScopeGPU {
+		if e, hit := gpm.L2.Lookup(line); hit {
+			reply(e.Data)
+			return
 		}
-		// Miss: forward to the system home carrying only the GPU id; the
-		// GPU home caches the response on behalf of its whole GPU.
-		gpm.fetch(fetchKey{line, sysHome}, reply, func(done func(fillData)) {
-			s.send(h, sysHome, msg.LoadReq, func() {
-				s.sysHomeLoad(sysHome, proto.GPURequester(int(gpm.gpu)), true, line, func(fill fillData) {
-					s.send(sysHome, h, msg.DataResp, func() {
-						s.fillL2(h, line, fill, true)
-						done(fill)
-					})
+	}
+	// Miss: forward to the system home carrying only the GPU id; the
+	// GPU home caches the response on behalf of its whole GPU.
+	gpm.fetch(fetchKey{line, sysHome}, reply, func(done func(fillData)) {
+		s.send(h, sysHome, msg.LoadReq, func() {
+			s.sysHomeLoad(sysHome, proto.GPURequester(int(gpm.gpu)), true, line, func(fill fillData) {
+				s.send(sysHome, h, msg.DataResp, func() {
+					s.fillL2(h, line, fill, true)
+					done(fill)
 				})
 			})
 		})
@@ -236,21 +250,31 @@ func (s *System) sysHomeLoadUnlocked(sh topo.GPMID, req proto.Requester, track b
 	if gpm.classes != nil && !req.IsGPU {
 		s.classifyLoad(gpm, line, topo.GPMID(req.ID))
 	}
-	s.Eng.Schedule(s.Cfg.L2Latency, func() {
-		if e, hit := gpm.L2.Lookup(line); hit {
-			reply(e.Data)
-			return
-		}
-		gpm.fetch(fetchKey{line, sh}, reply, func(done func(fillData)) {
-			gpm.DRAM.Read(line, func() {
-				var fill fillData
-				if s.Cfg.TrackValues {
-					fill = gpm.DRAM.LineValues(line)
-				}
-				e, _ := gpm.L2.Fill(line)
-				e.MergeFrom(fill)
-				done(e.Data)
-			})
+	c := s.newCtx(stageSysHomeLoad)
+	c.g, c.line, c.reply = sh, line, reply
+	s.Eng.ScheduleHandler(s.Cfg.L2Latency, c)
+}
+
+// sysHomeLoadAtL2 is the system-home continuation of a load one L2
+// latency after request arrival: home L2 lookup, then a merged DRAM
+// fetch on a miss.
+func (s *System) sysHomeLoadAtL2(sh topo.GPMID, line topo.Line, reply func(fillData)) {
+	gpm := s.gpmOf(sh)
+	if e, hit := gpm.L2.Lookup(line); hit {
+		reply(e.Data)
+		return
+	}
+	gpm.fetch(fetchKey{line, sh}, reply, func(done func(fillData)) {
+		gpm.DRAM.Read(line, func() {
+			var fill fillData
+			if s.Cfg.TrackValues {
+				fill = gpm.DRAM.LineValues(line)
+			}
+			//lint:allow eventemit home slice refilling its own line from DRAM; the requester-side fill emits EvFill when the reply lands
+			e, _ := gpm.L2.Fill(line)
+			//lint:allow eventemit same home refill; the value surfaces via the requester's EvLoadDone
+			e.MergeFrom(fill)
+			done(e.Data)
 		})
 	})
 }
@@ -326,23 +350,31 @@ func (sm *SM) startStore(op trace.Op) {
 			e.SetValue(word, op.Val)
 		}
 	}
-	s.Eng.Schedule(s.Cfg.L1Latency, func() {
-		if s.Cfg.WriteBack && op.Kind == trace.Store && op.Scope <= trace.ScopeCTA {
-			// Write-back option: a plain store that hits the local slice
-			// dirties it; the flush machinery assumes the visibility
-			// obligation, so the store's gates are released here.
-			s.Eng.Schedule(s.Cfg.L2Latency, func() {
-				if s.tryWriteBackHit(sm.gpm, line, word, op.Val) {
-					sm.gpuHomeGate.Finish()
-					sm.sysHomeGate.Finish()
-					return
-				}
-				s.l2Store(sm, op, line, word)
-			})
-			return
-		}
-		s.l2Store(sm, op, line, word)
-	})
+	c := s.newCtx(stageStartStore)
+	c.sm, c.op, c.line, c.word = sm, op, line, word
+	s.Eng.ScheduleHandler(s.Cfg.L1Latency, c)
+}
+
+// storeAfterL1 is the SM-side continuation of startStore one L1 latency
+// after issue: absorb into the local slice under the write-back option,
+// or route the write-through toward the home hierarchy.
+func (sm *SM) storeAfterL1(op trace.Op, line topo.Line, word uint16) {
+	s := sm.sys
+	if s.Cfg.WriteBack && op.Kind == trace.Store && op.Scope <= trace.ScopeCTA {
+		// Write-back option: a plain store that hits the local slice
+		// dirties it; the flush machinery assumes the visibility
+		// obligation, so the store's gates are released here.
+		s.Eng.Schedule(s.Cfg.L2Latency, func() {
+			if s.tryWriteBackHit(sm.gpm, line, word, op.Val) {
+				sm.gpuHomeGate.Finish()
+				sm.sysHomeGate.Finish()
+				return
+			}
+			s.l2Store(sm, op, line, word)
+		})
+		return
+	}
+	s.l2Store(sm, op, line, word)
 }
 
 // l2Store routes a write-through from the requester's L2 slice toward
@@ -391,31 +423,38 @@ func (s *System) l2Store(sm *SM, op trace.Op, line topo.Line, word uint16) {
 // gpuHomeStore processes a write-through at a GPU home node that is not
 // the system home, then forwards it to the system home.
 func (s *System) gpuHomeStore(h, fromGPM topo.GPMID, op trace.Op, line topo.Line, word uint16, onGPU, onSys func()) {
+	c := s.newCtx(stageGPUHomeStore)
+	c.g, c.from, c.op, c.line, c.word, c.onGPU, c.onSys = h, fromGPM, op, line, word, onGPU, onSys
+	s.Eng.ScheduleHandler(s.Cfg.L2Latency, c)
+}
+
+// gpuHomeStoreAtL2 is the GPU-home continuation of a write-through one
+// L2 latency after request arrival: directory transitions, home-copy
+// update, and the forward to the system home.
+func (s *System) gpuHomeStoreAtL2(h, fromGPM topo.GPMID, op trace.Op, line topo.Line, word uint16, onGPU, onSys func()) {
 	gpm := s.gpmOf(h)
 	sysHome := s.Pages.SysHome(line)
-	s.Eng.Schedule(s.Cfg.L2Latency, func() {
-		if gpm.Dir != nil {
-			if fromGPM == h {
-				s.sendInvs(gpm, gpm.Dir.Dir.RegionOf(line), gpm.Dir.LocalStore(line))
-			} else {
-				inv, evR, evT := gpm.Dir.RemoteStore(line, proto.GPMRequester(s.Cfg.Topo.LocalOf(fromGPM)))
-				s.sendInvs(gpm, gpm.Dir.Dir.RegionOf(line), inv)
-				s.sendInvs(gpm, evR, evT)
-			}
-		}
-		if e, hit := gpm.L2.Peek(line); hit {
-			if s.Cfg.TrackValues {
-				e.SetValue(word, op.Val)
-			}
+	if gpm.Dir != nil {
+		if fromGPM == h {
+			s.sendInvs(gpm, gpm.Dir.Dir.RegionOf(line), gpm.Dir.LocalStore(line))
 		} else {
-			gpm.poisonLine(line)
+			inv, evR, evT := gpm.Dir.RemoteStore(line, proto.GPMRequester(s.Cfg.Topo.LocalOf(fromGPM)))
+			s.sendInvs(gpm, gpm.Dir.Dir.RegionOf(line), inv)
+			s.sendInvs(gpm, evR, evT)
 		}
-		s.emit(Event{Kind: EvGPUHomeStore, GPM: h, SM: NoSM, Line: line,
-			Addr: op.Addr, Scope: op.Scope, Op: op.Kind, Val: op.Val})
-		onGPU()
-		s.send(h, sysHome, msg.StoreReq, func() {
-			s.sysHomeStore(sysHome, proto.GPURequester(int(gpm.gpu)), false, op, line, word, nil, onSys)
-		})
+	}
+	if e, hit := gpm.L2.Peek(line); hit {
+		if s.Cfg.TrackValues {
+			e.SetValue(word, op.Val)
+		}
+	} else {
+		gpm.poisonLine(line)
+	}
+	s.emit(Event{Kind: EvGPUHomeStore, GPM: h, SM: NoSM, Line: line,
+		Addr: op.Addr, Scope: op.Scope, Op: op.Kind, Val: op.Val})
+	onGPU()
+	s.send(h, sysHome, msg.StoreReq, func() {
+		s.sysHomeStore(sysHome, proto.GPURequester(int(gpm.gpu)), false, op, line, word, nil, onSys)
 	})
 }
 
@@ -427,46 +466,53 @@ func (s *System) sysHomeStore(sh topo.GPMID, req proto.Requester, local bool, op
 		s.sysHomeStoreMCA(sh, req, local, op, line, word, onGPU, onSys)
 		return
 	}
+	c := s.newCtx(stageSysHomeStore)
+	c.g, c.req, c.flag, c.op, c.line, c.word, c.onGPU, c.onSys = sh, req, local, op, line, word, onGPU, onSys
+	s.Eng.ScheduleHandler(s.Cfg.L2Latency, c)
+}
+
+// sysHomeStoreAtL2 is the system-home continuation of a write-through
+// one L2 latency after request arrival: classification, Table I
+// directory transitions, home-copy update, and the DRAM write.
+func (s *System) sysHomeStoreAtL2(sh topo.GPMID, req proto.Requester, local bool, op trace.Op, line topo.Line, word uint16, onGPU, onSys func()) {
 	gpm := s.gpmOf(sh)
-	s.Eng.Schedule(s.Cfg.L2Latency, func() {
-		if gpm.classes != nil {
-			accessor := topo.GPMID(req.ID)
-			if local {
-				accessor = sh
-			}
-			if s.classifyStore(gpm, line, accessor) {
-				s.broadcastInv(gpm, line)
-			}
+	if gpm.classes != nil {
+		accessor := topo.GPMID(req.ID)
+		if local {
+			accessor = sh
 		}
-		if gpm.Dir != nil {
-			if local {
-				s.sendInvs(gpm, gpm.Dir.Dir.RegionOf(line), gpm.Dir.LocalStore(line))
-			} else {
-				inv, evR, evT := gpm.Dir.RemoteStore(line, req)
-				s.sendInvs(gpm, gpm.Dir.Dir.RegionOf(line), inv)
-				s.sendInvs(gpm, evR, evT)
-			}
+		if s.classifyStore(gpm, line, accessor) {
+			s.broadcastInv(gpm, line)
 		}
-		if e, hit := gpm.L2.Peek(line); hit {
-			if s.Cfg.TrackValues {
-				e.SetValue(word, op.Val)
-			}
+	}
+	if gpm.Dir != nil {
+		if local {
+			s.sendInvs(gpm, gpm.Dir.Dir.RegionOf(line), gpm.Dir.LocalStore(line))
 		} else {
-			gpm.poisonLine(line)
+			inv, evR, evT := gpm.Dir.RemoteStore(line, req)
+			s.sendInvs(gpm, gpm.Dir.Dir.RegionOf(line), inv)
+			s.sendInvs(gpm, evR, evT)
 		}
+	}
+	if e, hit := gpm.L2.Peek(line); hit {
 		if s.Cfg.TrackValues {
-			gpm.DRAM.StoreValue(op.Addr, op.Val)
+			e.SetValue(word, op.Val)
 		}
-		gpm.DRAM.Write(s.Cfg.Net.Sizes.StorePayload, nil)
-		s.emit(Event{Kind: EvHomeStore, GPM: sh, SM: NoSM, Line: line,
-			Addr: op.Addr, Scope: op.Scope, Op: op.Kind, Val: op.Val})
-		if onGPU != nil {
-			onGPU()
-		}
-		if onSys != nil {
-			onSys()
-		}
-	})
+	} else {
+		gpm.poisonLine(line)
+	}
+	if s.Cfg.TrackValues {
+		gpm.DRAM.StoreValue(op.Addr, op.Val)
+	}
+	gpm.DRAM.Write(s.Cfg.Net.Sizes.StorePayload, nil)
+	s.emit(Event{Kind: EvHomeStore, GPM: sh, SM: NoSM, Line: line,
+		Addr: op.Addr, Scope: op.Scope, Op: op.Kind, Val: op.Val})
+	if onGPU != nil {
+		onGPU()
+	}
+	if onSys != nil {
+		onSys()
+	}
 }
 
 // ---------------------------------------------------------------------

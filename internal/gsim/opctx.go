@@ -1,0 +1,178 @@
+package gsim
+
+// Pooled per-hop continuation contexts.
+//
+// Every hop through the memory hierarchy used to schedule a fresh
+// closure: ~20 `Eng.Schedule(lat, func(){...})` sites in access.go,
+// writeback.go, and sm.go each allocated a capture struct per event.
+// opCtx replaces the hot subset of those closures with one reusable
+// value drawn from a per-System free list: the caller fills in the
+// fields its stage needs, schedules the context through the engine's
+// allocation-free ScheduleHandler path, and Handle dispatches on the
+// stage tag.
+//
+// Pooling invariant: Handle copies every field it needs into locals and
+// releases the context *before* running the stage body. Stage bodies may
+// allocate fresh contexts (reusing this very one), and any closure a
+// body creates captures those locals — never the pooled struct — so a
+// context is only ever live between its Schedule and its dispatch.
+// Contexts never cross that boundary, which is what makes the pool safe
+// without reference counting.
+//
+// This transformation is 1:1 with the closures it replaces: each
+// converted site still schedules exactly one event with the same
+// latency at the same point in execution, so event sequence numbers —
+// and therefore cycle-level results — are byte-identical to the closure
+// implementation.
+
+import (
+	"hmg/internal/proto"
+	"hmg/internal/topo"
+	"hmg/internal/trace"
+)
+
+// ctxStage discriminates which continuation a pooled opCtx carries.
+type ctxStage uint8
+
+const (
+	stageNone ctxStage = iota
+	// stageLoadValue delivers a resolved load value: done(v).
+	stageLoadValue
+	// stageLoadMiss runs the SM-side L1-miss continuation of startLoad.
+	stageLoadMiss
+	// stageOpDone retires a posted op at its warp: w.opDone().
+	stageOpDone
+	// stageWarpWake clears a warp's timed-wakeup flag and re-issues.
+	stageWarpWake
+	// stageSysHomeLoad runs the system-home L2 lookup of a load.
+	stageSysHomeLoad
+	// stageGPUHomeLoad runs the GPU-home L2 lookup of a load.
+	stageGPUHomeLoad
+	// stageRequesterProbe runs the requester-side local L2 probe of a
+	// load before it escalates to the home hierarchy.
+	stageRequesterProbe
+	// stageSysHomeStore applies a write-through at the system home.
+	stageSysHomeStore
+	// stageGPUHomeStore applies a write-through at a GPU home node.
+	stageGPUHomeStore
+	// stageStartStore runs the SM-side post-L1 leg of a store.
+	stageStartStore
+	// stageWBSysHome applies a write-back at the system home.
+	stageWBSysHome
+	// stageWBGPUHome applies a write-back at a GPU home node.
+	stageWBGPUHome
+)
+
+// opCtx is the pooled continuation context. It is a union: each stage
+// reads only the fields its site filled in. Fields are reset on release
+// so the pool never pins caches, closures, or fill maps.
+type opCtx struct {
+	s     *System
+	stage ctxStage
+
+	sm   *SM
+	w    *warpCtx
+	g    topo.GPMID // home (or acting) GPM of the stage
+	from topo.GPMID // requesting GPM, for home-side stages
+	op   trace.Op
+	line topo.Line
+	word uint16
+	flag bool // l1OK for loads; local for home-side stores
+	req  proto.Requester
+	v    uint64
+
+	done  func(uint64)
+	reply func(fillData)
+	next  func()
+	onGPU func()
+	onSys func()
+	data  fillData
+}
+
+// newCtx draws a context from the free list (or allocates one while the
+// pool warms up) and tags it with a stage.
+func (s *System) newCtx(stage ctxStage) *opCtx {
+	n := len(s.ctxFree)
+	if n == 0 {
+		return &opCtx{s: s, stage: stage}
+	}
+	c := s.ctxFree[n-1]
+	s.ctxFree[n-1] = nil
+	s.ctxFree = s.ctxFree[:n-1]
+	c.stage = stage
+	return c
+}
+
+// release zeroes the context and returns it to the free list.
+func (c *opCtx) release() {
+	s := c.s
+	*c = opCtx{s: s}
+	s.ctxFree = append(s.ctxFree, c)
+}
+
+// Handle dispatches the continuation. Per the pooling invariant, every
+// arm copies its fields into locals and releases the context before
+// running the stage body.
+func (c *opCtx) Handle() {
+	switch c.stage {
+	case stageLoadValue:
+		done, v := c.done, c.v
+		c.release()
+		done(v)
+	case stageLoadMiss:
+		sm, op, line, word, l1OK, done := c.sm, c.op, c.line, c.word, c.flag, c.done
+		c.release()
+		sm.loadAfterL1Miss(op, line, word, l1OK, done)
+	case stageOpDone:
+		w := c.w
+		c.release()
+		w.opDone()
+	case stageWarpWake:
+		w := c.w
+		c.release()
+		w.wakeup = false
+		w.tryIssue()
+	case stageSysHomeLoad:
+		s, sh, line, reply := c.s, c.g, c.line, c.reply
+		c.release()
+		s.sysHomeLoadAtL2(sh, line, reply)
+	case stageGPUHomeLoad:
+		s, h, op, line, reply := c.s, c.g, c.op, c.line, c.reply
+		c.release()
+		s.gpuHomeLoadAtL2(h, op, line, reply)
+	case stageRequesterProbe:
+		s, g, line, reply, next := c.s, c.g, c.line, c.reply, c.next
+		c.release()
+		if e, hit := s.gpmOf(g).L2.Lookup(line); hit {
+			reply(e.Data)
+			return
+		}
+		next()
+	case stageSysHomeStore:
+		s, sh, req, local, op, line, word, onGPU, onSys :=
+			c.s, c.g, c.req, c.flag, c.op, c.line, c.word, c.onGPU, c.onSys
+		c.release()
+		s.sysHomeStoreAtL2(sh, req, local, op, line, word, onGPU, onSys)
+	case stageGPUHomeStore:
+		s, h, from, op, line, word, onGPU, onSys :=
+			c.s, c.g, c.from, c.op, c.line, c.word, c.onGPU, c.onSys
+		c.release()
+		s.gpuHomeStoreAtL2(h, from, op, line, word, onGPU, onSys)
+	case stageStartStore:
+		sm, op, line, word := c.sm, c.op, c.line, c.word
+		c.release()
+		sm.storeAfterL1(op, line, word)
+	case stageWBSysHome:
+		s, sh, req, local, line, data, onGPU, onSys :=
+			c.s, c.g, c.req, c.flag, c.line, c.data, c.onGPU, c.onSys
+		c.release()
+		s.wbAtSysHomeL2(sh, req, local, line, data, onGPU, onSys)
+	case stageWBGPUHome:
+		s, h, from, line, data, onGPU, onSys :=
+			c.s, c.g, c.from, c.line, c.data, c.onGPU, c.onSys
+		c.release()
+		s.wbAtGPUHomeL2(h, from, line, data, onGPU, onSys)
+	default:
+		panic("gsim: opCtx dispatched with no stage")
+	}
+}

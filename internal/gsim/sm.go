@@ -80,10 +80,9 @@ func (w *warpCtx) tryIssue() {
 		if now < w.readyAt {
 			if !w.wakeup {
 				w.wakeup = true
-				w.sm.sys.Eng.ScheduleAt(w.readyAt, func() {
-					w.wakeup = false
-					w.tryIssue()
-				})
+				c := w.sm.sys.newCtx(stageWarpWake)
+				c.w = w
+				w.sm.sys.Eng.ScheduleHandlerAt(w.readyAt, c)
 			}
 			return
 		}
@@ -146,7 +145,9 @@ func (w *warpCtx) issue(op trace.Op) {
 		// Posted: the warp sees completion after L1 access; the
 		// write-through proceeds in the background.
 		sm.startStore(op)
-		sys.Eng.Schedule(sys.Cfg.L1Latency, func() { w.opDone() })
+		c := sys.newCtx(stageOpDone)
+		c.w = w
+		sys.Eng.ScheduleHandler(sys.Cfg.L1Latency, c)
 	case trace.StoreRel:
 		sys.stores++
 		w.blocked = true

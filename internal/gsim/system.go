@@ -150,6 +150,10 @@ type System struct {
 	// state — so attaching one cannot perturb timing or results.
 	OnEvent func(Event)
 
+	// ctxFree is the free list of pooled per-hop continuation contexts
+	// (see opctx.go); steady-state hops schedule without allocating.
+	ctxFree []*opCtx
+
 	// counters for results not covered by component stats
 	ops, loads, stores, atomics uint64
 	interGPULoadResponses       uint64

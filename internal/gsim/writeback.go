@@ -46,6 +46,7 @@ func (s *System) tryWriteBackHit(g topo.GPMID, line topo.Line, word uint16, val 
 // its home hierarchy, charging the given SM's store gates. It returns
 // the number of lines flushed.
 func (s *System) flushDirtySlice(g topo.GPMID, sm *SM) int {
+	//lint:allow eventemit FlushDirty only clears dirty bits; each flushed line's home-side events are emitted by the scheduled wbAtGPUHomeL2/wbAtSysHomeL2 continuations
 	return s.gpmOf(g).L2.FlushDirty(func(e cache.Entry) {
 		s.writeBackLine(g, sm, e.Line, e.Data)
 	})
@@ -106,31 +107,37 @@ func (s *System) writeBackLine(g topo.GPMID, sm *SM, line topo.Line, data fillDa
 // the system home. Per the Section IV option, the issuing GPM is not
 // recorded as a sharer; other sharers of changed data are invalidated.
 func (s *System) wbAtGPUHome(h, fromGPM topo.GPMID, line topo.Line, data fillData, onGPU, onSys func()) {
+	c := s.newCtx(stageWBGPUHome)
+	c.g, c.from, c.line, c.data, c.onGPU, c.onSys = h, fromGPM, line, data, onGPU, onSys
+	s.Eng.ScheduleHandler(s.Cfg.L2Latency, c)
+}
+
+// wbAtGPUHomeL2 is the GPU-home continuation of a writeback one L2
+// latency after arrival.
+func (s *System) wbAtGPUHomeL2(h, fromGPM topo.GPMID, line topo.Line, data fillData, onGPU, onSys func()) {
 	gpm := s.gpmOf(h)
 	sysHome := s.Pages.SysHome(line)
-	s.Eng.Schedule(s.Cfg.L2Latency, func() {
-		if gpm.Dir != nil {
-			req := proto.GPMRequester(s.Cfg.Topo.LocalOf(fromGPM))
-			if fromGPM == h {
-				s.sendInvs(gpm, gpm.Dir.Dir.RegionOf(line), gpm.Dir.LocalStore(line))
-			} else {
-				inv, evR, evT := gpm.Dir.RemoteStore(line, req)
-				s.sendInvs(gpm, gpm.Dir.Dir.RegionOf(line), inv)
-				s.sendInvs(gpm, evR, evT)
-				gpm.Dir.DropSharer(line, req) // "need not be tracked going forward"
-			}
-		}
-		if e, hit := gpm.L2.Peek(line); hit {
-			if s.Cfg.TrackValues {
-				e.MergeFrom(data)
-			}
+	if gpm.Dir != nil {
+		req := proto.GPMRequester(s.Cfg.Topo.LocalOf(fromGPM))
+		if fromGPM == h {
+			s.sendInvs(gpm, gpm.Dir.Dir.RegionOf(line), gpm.Dir.LocalStore(line))
 		} else {
-			gpm.poisonLine(line)
+			inv, evR, evT := gpm.Dir.RemoteStore(line, req)
+			s.sendInvs(gpm, gpm.Dir.Dir.RegionOf(line), inv)
+			s.sendInvs(gpm, evR, evT)
+			gpm.Dir.DropSharer(line, req) // "need not be tracked going forward"
 		}
-		onGPU()
-		s.send(h, sysHome, msg.WriteBack, func() {
-			s.wbAtSysHome(sysHome, proto.GPURequester(int(gpm.gpu)), false, line, data, nil, onSys)
-		})
+	}
+	if e, hit := gpm.L2.Peek(line); hit {
+		if s.Cfg.TrackValues {
+			e.MergeFrom(data)
+		}
+	} else {
+		gpm.poisonLine(line)
+	}
+	onGPU()
+	s.send(h, sysHome, msg.WriteBack, func() {
+		s.wbAtSysHome(sysHome, proto.GPURequester(int(gpm.gpu)), false, line, data, nil, onSys)
 	})
 }
 
@@ -138,38 +145,44 @@ func (s *System) wbAtGPUHome(h, fromGPM topo.GPMID, line topo.Line, data fillDat
 // transition without retaining the writer as a sharer, home-copy merge,
 // and the DRAM write.
 func (s *System) wbAtSysHome(sh topo.GPMID, req proto.Requester, local bool, line topo.Line, data fillData, onGPU, onSys func()) {
+	c := s.newCtx(stageWBSysHome)
+	c.g, c.req, c.flag, c.line, c.data, c.onGPU, c.onSys = sh, req, local, line, data, onGPU, onSys
+	s.Eng.ScheduleHandler(s.Cfg.L2Latency, c)
+}
+
+// wbAtSysHomeL2 is the system-home continuation of a writeback one L2
+// latency after arrival.
+func (s *System) wbAtSysHomeL2(sh topo.GPMID, req proto.Requester, local bool, line topo.Line, data fillData, onGPU, onSys func()) {
 	gpm := s.gpmOf(sh)
-	s.Eng.Schedule(s.Cfg.L2Latency, func() {
-		if gpm.Dir != nil {
-			if local {
-				s.sendInvs(gpm, gpm.Dir.Dir.RegionOf(line), gpm.Dir.LocalStore(line))
-			} else {
-				inv, evR, evT := gpm.Dir.RemoteStore(line, req)
-				s.sendInvs(gpm, gpm.Dir.Dir.RegionOf(line), inv)
-				s.sendInvs(gpm, evR, evT)
-				gpm.Dir.DropSharer(line, req)
-			}
-		}
-		if e, hit := gpm.L2.Peek(line); hit {
-			if s.Cfg.TrackValues {
-				e.MergeFrom(data)
-			}
+	if gpm.Dir != nil {
+		if local {
+			s.sendInvs(gpm, gpm.Dir.Dir.RegionOf(line), gpm.Dir.LocalStore(line))
 		} else {
-			gpm.poisonLine(line)
+			inv, evR, evT := gpm.Dir.RemoteStore(line, req)
+			s.sendInvs(gpm, gpm.Dir.Dir.RegionOf(line), inv)
+			s.sendInvs(gpm, evR, evT)
+			gpm.Dir.DropSharer(line, req)
 		}
+	}
+	if e, hit := gpm.L2.Peek(line); hit {
 		if s.Cfg.TrackValues {
-			base := topo.Addr(uint64(line) * uint64(s.Cfg.Topo.LineSize))
-			//lint:allow determinism each word stores to its own address; per-word DRAM writes commute
-			for w, v := range data {
-				gpm.DRAM.StoreValue(base+topo.Addr(w)*4, v)
-			}
+			e.MergeFrom(data)
 		}
-		gpm.DRAM.Write(s.Cfg.Topo.LineSize, nil)
-		if onGPU != nil {
-			onGPU()
+	} else {
+		gpm.poisonLine(line)
+	}
+	if s.Cfg.TrackValues {
+		base := topo.Addr(uint64(line) * uint64(s.Cfg.Topo.LineSize))
+		//lint:allow determinism each word stores to its own address; per-word DRAM writes commute
+		for w, v := range data {
+			gpm.DRAM.StoreValue(base+topo.Addr(w)*4, v)
 		}
-		if onSys != nil {
-			onSys()
-		}
-	})
+	}
+	gpm.DRAM.Write(s.Cfg.Topo.LineSize, nil)
+	if onGPU != nil {
+		onGPU()
+	}
+	if onSys != nil {
+		onSys()
+	}
 }

@@ -19,6 +19,11 @@
 # validated, exhaustively enumerated on the small model, and diffed
 # against proto.DirCtrl — then each deliberate proto.Mutation bit is
 # injected and the diff must FAIL, proving the tier has teeth.
+#
+# The perf tier runs cmd/hmgperf against the newest committed
+# BENCH_*.json baseline: simulated cycles, event counts, and
+# allocs/event must match exactly (the simulator is deterministic and
+# the hot path is zero-alloc); wall-clock drift only warns.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -60,5 +65,13 @@ go run ./cmd/hmgcheck -seeds 64 -scale 0.1
 
 echo "== litmus fuzz smoke"
 go test ./internal/check -fuzz=FuzzLitmus -fuzztime=10s
+
+echo "== perf gate (hmgperf)"
+BENCH_BASELINE="$(ls BENCH_*.json | sort | tail -1)"
+if [ -z "$BENCH_BASELINE" ]; then
+  echo "no committed BENCH_*.json baseline found" >&2
+  exit 1
+fi
+go run ./cmd/hmgperf -against "$BENCH_BASELINE"
 
 echo "verify OK"
