@@ -219,8 +219,8 @@ func TestHmgbenchFigureRegistrySync(t *testing.T) {
 		t.Skip("CLI build in -short mode")
 	}
 	names := experiments.FigureNames()
-	if len(names) != 21 {
-		t.Fatalf("registry has %d figures, want 21", len(names))
+	if len(names) != 22 {
+		t.Fatalf("registry has %d figures, want 22", len(names))
 	}
 
 	bin := build(t, "cmd/hmgbench")

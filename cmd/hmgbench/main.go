@@ -9,8 +9,8 @@
 //	hmgbench -fig all -jobs 8       # prewarm runs on 8 parallel workers
 //
 // Figures: 2, 3, 7, 8, 9, 10, 11, 12, 13, 14, granularity, downgrade,
-// writeback, gpmscope, scaling, carve, locality, mca, tableII,
-// tableIII, cost.
+// writeback, gpmscope, scaling, toposcale, carve, locality, mca,
+// tableII, tableIII, cost.
 //
 // The figure set is defined by the experiments.Figures registry; every
 // simulation is memoized by (benchmark, protocol, variant), so -jobs
@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"hmg/internal/experiments"
+	"hmg/internal/topo"
 )
 
 func main() {
@@ -33,6 +34,7 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate ("+names+",all)")
 	scale := flag.Float64("scale", 1.0, "workload scale in (0,1]")
 	sms := flag.Int("sms", 8, "modeled SMs per GPM")
+	topoFlag := flag.String("topo", "", topo.SpecFlagUsage+" (reshapes the campaign's base machine)")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers for the campaign prewarm")
 	verbose := flag.Bool("v", false, "log each simulation run and the campaign summary")
 	format := flag.String("format", "text", "output format: text, csv, or md")
@@ -42,6 +44,12 @@ func main() {
 	opts.Scale = *scale
 	opts.SMsPerGPM = *sms
 	opts.Jobs = *jobs
+	spec, err := topo.ParseSpec(*topoFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hmgbench: %v\n", err)
+		os.Exit(2)
+	}
+	opts.Topo = spec
 	if *verbose {
 		opts.Log = os.Stderr
 	}

@@ -31,6 +31,7 @@ import (
 	"hmg/internal/gsim"
 	"hmg/internal/proto"
 	"hmg/internal/proto/spec"
+	"hmg/internal/topo"
 	"hmg/internal/workload"
 )
 
@@ -45,9 +46,15 @@ func main() {
 	protoName := flag.String("protocol", "", "restrict the sweep to one protocol")
 	benchName := flag.String("bench", "", "restrict the benchmark tier to one benchmark")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "parallel workers")
+	topoFlag := flag.String("topo", "", topo.SpecFlagUsage+" (reshapes the benchmark tier's conformance machine)")
 	mutate := flag.Int("mutate", 0, "inject Table I mutation bits (self-test; a clean run must fail)")
 	verbose := flag.Bool("v", false, "print every case, not just failures")
 	flag.Parse()
+
+	shape, err := topo.ParseSpec(*topoFlag)
+	if err != nil {
+		fatal(err)
+	}
 
 	var only proto.Kind
 	restrict := *protoName != ""
@@ -87,7 +94,7 @@ func main() {
 			k, name := k, name
 			tasks = append(tasks, task{
 				name: fmt.Sprintf("bench %v/%s", k, name),
-				run:  func() error { return runBench(k, name, *scale, mu) },
+				run:  func() error { return runBench(k, name, *scale, mu, shape) },
 			})
 		}
 	}
@@ -138,9 +145,10 @@ func main() {
 }
 
 // runBench executes one benchmark under one protocol on the conformance
-// machine with the invariant checker attached.
-func runBench(k proto.Kind, name string, scale float64, mu proto.Mutation) error {
+// machine (reshaped by -topo) with the invariant checker attached.
+func runBench(k proto.Kind, name string, scale float64, mu proto.Mutation, sp topo.Spec) error {
 	cfg := consist.SmallConfig(k)
+	cfg.Topo = sp.Apply(cfg.Topo)
 	cfg.Mutation = mu
 	sys, err := gsim.New(cfg)
 	if err != nil {

@@ -30,6 +30,7 @@ import (
 	"hmg/internal/experiments"
 	"hmg/internal/gsim"
 	"hmg/internal/proto"
+	"hmg/internal/topo"
 	"hmg/internal/workload"
 )
 
@@ -54,7 +55,22 @@ type Snapshot struct {
 	GoVersion string  `json:"go_version"`
 	Scale     float64 `json:"scale"`
 	SMsPerGPM int     `json:"sms_per_gpm"`
-	Runs      []Run   `json:"runs"`
+	// Topo is the machine shape ("GxM") the matrix ran on. Snapshots
+	// from before the field existed are read as the then-only 4x4 shape.
+	Topo string `json:"topo,omitempty"`
+	Runs []Run  `json:"runs"`
+}
+
+// defaultTopo is the shape assumed for baselines written before the
+// topo field existed.
+const defaultTopo = "4x4"
+
+// topoLabel normalizes a snapshot's shape for comparison.
+func topoLabel(s *Snapshot) string {
+	if s.Topo == "" {
+		return defaultTopo
+	}
+	return s.Topo
 }
 
 // Run is one cell of the matrix. Cycles, Events, and Allocs are
@@ -80,9 +96,15 @@ func main() {
 	allocTol := flag.Float64("alloc-threshold", 0.02, "relative allocs/event growth tolerated before failing")
 	wallTol := flag.Float64("wall-threshold", 1.5, "ns/event ratio over baseline that triggers an advisory warning")
 	sms := flag.Int("sms", 8, "modeled SMs per GPM (must match the baseline)")
+	topoFlag := flag.String("topo", "", topo.SpecFlagUsage+" (must match the baseline)")
 	flag.Parse()
 
-	snap, err := runMatrix(*sms)
+	shape, err := topo.ParseSpec(*topoFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hmgperf: %v\n", err)
+		os.Exit(2)
+	}
+	snap, err := runMatrix(*sms, shape)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hmgperf: %v\n", err)
 		os.Exit(2)
@@ -122,8 +144,8 @@ func main() {
 // isolates simulation allocations by reading memory statistics after
 // system construction and trace generation (setup) and again after the
 // run.
-func runMatrix(sms int) (*Snapshot, error) {
-	r, err := experiments.NewRunner(experiments.Options{Scale: matrixScale, SMsPerGPM: sms})
+func runMatrix(sms int, shape topo.Spec) (*Snapshot, error) {
+	r, err := experiments.NewRunner(experiments.Options{Scale: matrixScale, SMsPerGPM: sms, Topo: shape})
 	if err != nil {
 		return nil, err
 	}
@@ -133,6 +155,7 @@ func runMatrix(sms int) (*Snapshot, error) {
 		GoVersion: runtime.Version(),
 		Scale:     matrixScale,
 		SMsPerGPM: sms,
+		Topo:      r.Config(proto.HMG, experiments.Variant{}).Topo.String(),
 	}
 	for _, abbrev := range matrixBenches {
 		bench, err := workload.Get(abbrev)
@@ -218,6 +241,11 @@ func compare(base, cur *Snapshot, allocTol, wallTol float64) (failed bool) {
 	if base.Scale != cur.Scale || base.SMsPerGPM != cur.SMsPerGPM {
 		fmt.Fprintf(os.Stderr, "FAIL: matrix mismatch: baseline scale=%v sms=%d, current scale=%v sms=%d\n",
 			base.Scale, base.SMsPerGPM, cur.Scale, cur.SMsPerGPM)
+		return true
+	}
+	if topoLabel(base) != topoLabel(cur) {
+		fmt.Fprintf(os.Stderr, "FAIL: topology mismatch: baseline ran at %s, current at %s — cycles are not comparable across machine shapes\n",
+			topoLabel(base), topoLabel(cur))
 		return true
 	}
 	current := make(map[string]Run, len(cur.Runs))

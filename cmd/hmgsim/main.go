@@ -20,6 +20,7 @@ import (
 	"hmg"
 	"hmg/internal/experiments"
 	"hmg/internal/proto"
+	"hmg/internal/topo"
 	"hmg/internal/trace"
 	"hmg/internal/workload"
 )
@@ -31,6 +32,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale in (0,1]")
 	compare := flag.Bool("compare", false, "also run the no-remote-caching baseline and report speedup")
 	sms := flag.Int("sms", 8, "modeled SMs per GPM")
+	topoFlag := flag.String("topo", "", topo.SpecFlagUsage)
 	check := flag.Bool("check", false, "attach the protocol conformance checker; exit non-zero on invariant violations")
 	flag.Parse()
 
@@ -38,7 +40,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	r, err := experiments.NewRunner(experiments.Options{SMsPerGPM: *sms, Scale: *scale})
+	spec, err := topo.ParseSpec(*topoFlag)
+	if err != nil {
+		fatal(err)
+	}
+	r, err := experiments.NewRunner(experiments.Options{SMsPerGPM: *sms, Scale: *scale, Topo: spec})
 	if err != nil {
 		fatal(err)
 	}
@@ -82,6 +88,7 @@ func main() {
 	}
 	fmt.Printf("benchmark:         %s\n", tr.Name)
 	fmt.Printf("protocol:          %v\n", kind)
+	fmt.Printf("topology:          %v (%d GPMs)\n", cfg.Topo, cfg.Topo.TotalGPMs())
 	fmt.Printf("ops:               %d (%d loads, %d stores, %d atomics)\n", res.Ops, res.Loads, res.Stores, res.Atomics)
 	fmt.Printf("cycles:            %d (%.3f ms at 1.3 GHz)\n", res.Cycles, res.Seconds*1e3)
 	fmt.Printf("L1 hit rate:       %.3f\n", res.L1HitRate())

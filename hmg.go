@@ -72,6 +72,18 @@ type Trace = trace.Trace
 // Addr is a global-memory byte address.
 type Addr = topo.Addr
 
+// TopologySpec is a partial machine shape ("GxM"); see ParseTopology.
+type TopologySpec = topo.Spec
+
+// ParseTopology parses a "GxM" machine shape such as "16x8" (16 GPUs of
+// 8 GPMs each). Apply the result to a configuration's Topo to reshape
+// it:
+//
+//	cfg := hmg.DefaultConfig(hmg.ProtocolHMG)
+//	sp, _ := hmg.ParseTopology("16x8")
+//	cfg.Topo = sp.Apply(cfg.Topo)
+func ParseTopology(s string) (TopologySpec, error) { return topo.ParseSpec(s) }
+
 // DefaultConfig returns the paper's Table II system (4 GPUs × 4 GPMs,
 // 12MB L2 and 12K directory entries per GPU, 200 GB/s inter-GPU links at
 // 1.3 GHz) with 8 modeled SMs per GPM.

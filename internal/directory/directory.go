@@ -4,17 +4,24 @@
 // four consecutive cache lines, the optimization the paper evaluates in
 // Section VII-B.
 //
-// The sharer set is hierarchy-aware (Section V): one bit space for GPM
-// sharers and another for GPU sharers, so the same structure serves NHCC
-// (GPM bits only, global ids) and HMG (local GPM bits at both home
-// levels, GPU bits at the system home). Entries have exactly the two
-// stable states of paper Table I — an entry present in the directory is
-// Valid; transitioning to Invalid drops it. No transient states exist.
+// The sharer set (sharers.go) is hierarchy-aware (Section V): one id
+// space for GPM sharers and another for GPU sharers, so the same
+// structure serves NHCC (GPM elements only, global ids) and HMG (local
+// GPM elements at both home levels, GPU elements at the system home).
+// Entries have exactly the two stable states of paper Table I — an
+// entry present in the directory is Valid; transitioning to Invalid
+// drops it. No transient states exist.
+//
+// Directory storage is sharded by address slice (contiguous ranges of
+// set indices), sized from the topology by the simulator. Sharding is
+// purely organizational — the region→set mapping is unchanged and shard
+// backing arrays allocate lazily on first touch — so behavior and
+// statistics are bit-for-bit identical at any shard count; only the
+// allocation pattern scales with machine size.
 package directory
 
 import (
 	"fmt"
-	"math/bits"
 	"sort"
 
 	"hmg/internal/topo"
@@ -22,86 +29,6 @@ import (
 
 // Region identifies a directory tracking granule: Line / GranLines.
 type Region uint64
-
-// Sharers is a hierarchical sharer set: bits 0..31 identify GPM sharers,
-// bits 32..63 identify GPU sharers. Which id space the GPM bits use
-// (global GPM ids for flat protocols, GPU-local module indices for
-// hierarchical ones) is the protocol's choice.
-type Sharers uint64
-
-const gpuShift = 32
-
-// GPMBit returns the sharer bit for a GPM index.
-func GPMBit(i int) Sharers {
-	if i < 0 || i >= gpuShift {
-		panic(fmt.Sprintf("directory: GPM sharer index %d out of range", i))
-	}
-	return Sharers(1) << uint(i)
-}
-
-// GPUBit returns the sharer bit for a GPU id.
-func GPUBit(j int) Sharers {
-	if j < 0 || j >= 64-gpuShift {
-		panic(fmt.Sprintf("directory: GPU sharer index %d out of range", j))
-	}
-	return Sharers(1) << uint(gpuShift+j)
-}
-
-// Has reports whether all bits of b are present in s.
-func (s Sharers) Has(b Sharers) bool { return s&b == b }
-
-// With returns s plus the bits of b.
-func (s Sharers) With(b Sharers) Sharers { return s | b }
-
-// Without returns s minus the bits of b.
-func (s Sharers) Without(b Sharers) Sharers { return s &^ b }
-
-// Count returns the number of sharers recorded.
-func (s Sharers) Count() int { return bits.OnesCount64(uint64(s)) }
-
-// IsEmpty reports whether no sharer is recorded.
-func (s Sharers) IsEmpty() bool { return s == 0 }
-
-// GPMs calls fn for each GPM sharer index.
-func (s Sharers) GPMs(fn func(int)) {
-	v := uint64(s) & (1<<gpuShift - 1)
-	for v != 0 {
-		i := bits.TrailingZeros64(v)
-		fn(i)
-		v &^= 1 << uint(i)
-	}
-}
-
-// GPUs calls fn for each GPU sharer id.
-func (s Sharers) GPUs(fn func(int)) {
-	v := uint64(s) >> gpuShift
-	for v != 0 {
-		j := bits.TrailingZeros64(v)
-		fn(j)
-		v &^= 1 << uint(j)
-	}
-}
-
-// String implements fmt.Stringer for debugging.
-func (s Sharers) String() string {
-	out := "["
-	first := true
-	s.GPMs(func(i int) {
-		if !first {
-			out += " "
-		}
-		out += fmt.Sprintf("GPM%d", i)
-		first = false
-	})
-	s.GPUs(func(j int) {
-		if !first {
-			out += " "
-		}
-		out += fmt.Sprintf("GPU%d", j)
-		first = false
-	})
-	return out + "]"
-}
 
 // Entry is one Valid directory entry.
 type Entry struct {
@@ -120,6 +47,10 @@ type Config struct {
 	// GranLines is the number of consecutive cache lines covered by one
 	// entry (4 in the paper's evaluation).
 	GranLines int
+	// Shards is the number of address-sliced shards the set storage is
+	// split into (0 means 1). Shard backing arrays allocate lazily on
+	// first touch; the value never changes lookup results or statistics.
+	Shards int
 }
 
 // DefaultConfig returns the Table II directory: 12K entries, 4 lines per
@@ -137,6 +68,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("directory: Entries %d not divisible by Ways %d", c.Entries, c.Ways)
 	case c.GranLines <= 0 || c.GranLines&(c.GranLines-1) != 0:
 		return fmt.Errorf("directory: GranLines %d must be a positive power of two", c.GranLines)
+	case c.Shards < 0:
+		return fmt.Errorf("directory: Shards %d must not be negative", c.Shards)
 	}
 	return nil
 }
@@ -153,13 +86,20 @@ type Stats struct {
 	EvictedSharerLines uint64
 }
 
+// shard is one contiguous slice of the directory's sets. Its backing
+// array is allocated on first touch.
+type shard struct {
+	sets [][]Entry
+}
+
 // Dir is a set-associative coherence directory.
 type Dir struct {
-	cfg     Config
-	sets    [][]Entry
-	numSets uint64
-	clock   uint64
-	live    int
+	cfg          Config
+	shards       []*shard
+	numSets      uint64
+	setsPerShard uint64
+	clock        uint64
+	live         int
 
 	Stats Stats
 }
@@ -169,13 +109,21 @@ func New(cfg Config) *Dir {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	numSets := cfg.Entries / cfg.Ways
-	d := &Dir{cfg: cfg, numSets: uint64(numSets)}
-	d.sets = make([][]Entry, numSets)
-	for i := range d.sets {
-		d.sets[i] = make([]Entry, cfg.Ways)
+	numSets := uint64(cfg.Entries / cfg.Ways)
+	shards := uint64(cfg.Shards)
+	if shards == 0 {
+		shards = 1
 	}
-	return d
+	if shards > numSets {
+		shards = numSets
+	}
+	setsPerShard := (numSets + shards - 1) / shards
+	return &Dir{
+		cfg:          cfg,
+		numSets:      numSets,
+		setsPerShard: setsPerShard,
+		shards:       make([]*shard, (numSets+setsPerShard-1)/setsPerShard),
+	}
 }
 
 // Config returns the directory's geometry.
@@ -190,7 +138,32 @@ func (d *Dir) RegionOf(l topo.Line) Region { return Region(uint64(l) / uint64(d.
 // FirstLine returns the first cache line of a region.
 func (d *Dir) FirstLine(r Region) topo.Line { return topo.Line(uint64(r) * uint64(d.cfg.GranLines)) }
 
-func (d *Dir) setOf(r Region) []Entry { return d.sets[uint64(r)%d.numSets] }
+// setOf resolves a region's set, allocating its shard on first touch.
+// The set index is region % numSets exactly as in the unsharded layout;
+// the shard is merely which backing array the set lives in.
+func (d *Dir) setOf(r Region) []Entry {
+	si := uint64(r) % d.numSets
+	sh := d.shards[si/d.setsPerShard]
+	if sh == nil {
+		sh = d.allocShard(si / d.setsPerShard)
+	}
+	return sh.sets[si%d.setsPerShard]
+}
+
+// allocShard materializes one shard's sets. The last shard may cover
+// fewer sets when shards do not divide numSets evenly.
+func (d *Dir) allocShard(idx uint64) *shard {
+	local := d.setsPerShard
+	if rem := d.numSets - idx*d.setsPerShard; rem < local {
+		local = rem
+	}
+	sh := &shard{sets: make([][]Entry, local)}
+	for i := range sh.sets {
+		sh.sets[i] = make([]Entry, d.cfg.Ways)
+	}
+	d.shards[idx] = sh
+	return sh
+}
 
 // Lookup probes the directory without allocating.
 func (d *Dir) Lookup(r Region) (*Entry, bool) {
@@ -266,8 +239,8 @@ func (d *Dir) Drop(r Region) bool {
 
 // Snapshot returns a copy of every Valid entry sorted by region — a
 // deterministic view of the directory state for differs and tests,
-// independent of set/way placement. Unlike Lookup it never touches LRU
-// or hit/miss statistics.
+// independent of set/way placement and shard count. Unlike Lookup it
+// never touches LRU or hit/miss statistics.
 func (d *Dir) Snapshot() []Entry {
 	out := make([]Entry, 0, d.live)
 	d.ForEach(func(e *Entry) { out = append(out, *e) })
@@ -275,12 +248,19 @@ func (d *Dir) Snapshot() []Entry {
 	return out
 }
 
-// ForEach visits every Valid entry.
+// ForEach visits every Valid entry in global set-index order (shards
+// hold contiguous set ranges, so walking shards in order preserves the
+// unsharded iteration order; untouched shards hold nothing).
 func (d *Dir) ForEach(fn func(*Entry)) {
-	for s := range d.sets {
-		for i := range d.sets[s] {
-			if d.sets[s][i].valid {
-				fn(&d.sets[s][i])
+	for _, sh := range d.shards {
+		if sh == nil {
+			continue
+		}
+		for s := range sh.sets {
+			for i := range sh.sets[s] {
+				if sh.sets[s][i].valid {
+					fn(&sh.sets[s][i])
+				}
 			}
 		}
 	}

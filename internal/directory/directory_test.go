@@ -37,7 +37,7 @@ func TestDefaultConfigMatchesTableII(t *testing.T) {
 }
 
 func TestSharerBits(t *testing.T) {
-	s := Sharers(0)
+	var s Sharers
 	s = s.With(GPMBit(2)).With(GPUBit(1))
 	if !s.Has(GPMBit(2)) || !s.Has(GPUBit(1)) {
 		t.Fatal("Has failed on set bits")
@@ -76,9 +76,9 @@ func TestSharerIteration(t *testing.T) {
 func TestSharerBitPanics(t *testing.T) {
 	for _, fn := range []func(){
 		func() { GPMBit(-1) },
-		func() { GPMBit(32) },
+		func() { GPMBit(MaxSharerIDs) },
 		func() { GPUBit(-1) },
-		func() { GPUBit(32) },
+		func() { GPUBit(MaxSharerIDs) },
 	} {
 		func() {
 			defer func() {
@@ -249,7 +249,7 @@ func TestSnapshot(t *testing.T) {
 		}
 	}
 	// Mutating the copies must not touch the directory.
-	snap[0].Sharers = 0
+	snap[0].Sharers = Sharers{}
 	if e, ok := d.Lookup(2); !ok || e.Sharers.IsEmpty() {
 		t.Fatal("snapshot aliases directory storage")
 	}

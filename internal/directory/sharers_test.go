@@ -1,0 +1,265 @@
+package directory
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// refSet is the obviously-correct reference model: a map keyed by
+// (space, id).
+type refSet map[[2]int]bool
+
+func (r refSet) with(o refSet) refSet {
+	out := refSet{}
+	for k := range r {
+		out[k] = true
+	}
+	for k := range o {
+		out[k] = true
+	}
+	return out
+}
+
+func (r refSet) without(o refSet) refSet {
+	out := refSet{}
+	for k := range r {
+		if !o[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func (r refSet) has(o refSet) bool {
+	for k := range o {
+		if !r[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (r refSet) ids(space int) []int {
+	var out []int
+	for k := range r {
+		if k[0] == space {
+			out = append(out, k[1])
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// checkAgainstRef verifies every observable of a Sharers value against
+// the reference, plus the canonical-representation invariants the
+// package promises: all-small-id sets are inline (so == works on them),
+// promoted sets are vectors up to vectorMax elements and bitmaps past
+// it.
+func checkAgainstRef(t *testing.T, s Sharers, ref refSet) {
+	t.Helper()
+	if s.Count() != len(ref) {
+		t.Fatalf("Count = %d, ref %d (%v)", s.Count(), len(ref), s)
+	}
+	if s.IsEmpty() != (len(ref) == 0) {
+		t.Fatalf("IsEmpty = %v with %d ref elements", s.IsEmpty(), len(ref))
+	}
+	var gpms, gpus []int
+	s.GPMs(func(i int) { gpms = append(gpms, i) })
+	s.GPUs(func(j int) { gpus = append(gpus, j) })
+	wantGPMs, wantGPUs := ref.ids(0), ref.ids(1)
+	if fmt.Sprint(gpms) != fmt.Sprint(wantGPMs) || fmt.Sprint(gpus) != fmt.Sprint(wantGPUs) {
+		t.Fatalf("iteration = GPMs %v GPUs %v, ref GPMs %v GPUs %v", gpms, gpus, wantGPMs, wantGPUs)
+	}
+
+	maxID := -1
+	for k := range ref {
+		if k[1] > maxID {
+			maxID = k[1]
+		}
+	}
+	switch {
+	case maxID < inlineIDs:
+		if s.big != nil {
+			t.Fatalf("set with max id %d not inline: %v", maxID, s)
+		}
+	case len(ref) <= vectorMax:
+		if s.big == nil || s.big.form != formVector {
+			t.Fatalf("set with max id %d and %d elements not a vector: %v", maxID, len(ref), s)
+		}
+	default:
+		if s.big == nil || s.big.form != formBitmap {
+			t.Fatalf("set with %d elements not a bitmap: %v", len(ref), s)
+		}
+	}
+}
+
+// splitmix is the test's deterministic id generator.
+func splitmix(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// TestSharersProperty drives random With/Without/Has sequences against
+// the reference model across id ranges chosen to cross the inline→
+// vector boundary (ids straddling 31/32/33) and element counts crossing
+// the vector→bitmap boundary (past 64 elements).
+func TestSharersProperty(t *testing.T) {
+	cases := []struct {
+		name  string
+		maxID int // ids drawn from [0, maxID)
+		ops   int
+	}{
+		{"inline-only", 32, 400},
+		{"boundary-33", 33, 400},
+		{"boundary-40", 40, 400},
+		{"vector-64", 64, 600},
+		{"bitmap-200", 200, 1200}, // 2 spaces × 200 ids ≫ vectorMax
+		{"sparse-huge", MaxSharerIDs, 600},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seed := uint64(1)
+			var s Sharers
+			ref := refSet{}
+			for op := 0; op < tc.ops; op++ {
+				id := int(splitmix(&seed) % uint64(tc.maxID))
+				isGPU := splitmix(&seed)%2 == 1
+				bit, key := GPMBit(id), [2]int{0, id}
+				if isGPU {
+					bit, key = GPUBit(id), [2]int{1, id}
+				}
+				switch splitmix(&seed) % 4 {
+				case 0, 1: // add
+					s, ref = s.With(bit), ref.with(refSet{key: true})
+				case 2: // remove
+					s, ref = s.Without(bit), ref.without(refSet{key: true})
+				default: // membership probe
+					if s.Has(bit) != ref.has(refSet{key: true}) {
+						t.Fatalf("op %d: Has(%v) = %v, ref %v", op, bit, s.Has(bit), ref.has(refSet{key: true}))
+					}
+				}
+				checkAgainstRef(t, s, ref)
+			}
+			// Rebuilding the membership from scratch in a different
+			// insertion order must land on an Equal set (canonical form).
+			var r Sharers
+			for k := range ref {
+				if k[0] == 0 {
+					r = r.With(GPMBit(k[1]))
+				} else {
+					r = r.With(GPUBit(k[1]))
+				}
+			}
+			if !r.Equal(s) || !s.Equal(r) {
+				t.Fatalf("rebuilt set not Equal: %v vs %v", r, s)
+			}
+			// And clearing every element must return to the empty value.
+			cleared := s
+			for k := range ref {
+				if k[0] == 0 {
+					cleared = cleared.Without(GPMBit(k[1]))
+				} else {
+					cleared = cleared.Without(GPUBit(k[1]))
+				}
+			}
+			if !cleared.IsEmpty() || cleared != (Sharers{}) {
+				t.Fatalf("fully-cleared set not the canonical empty value: %#v", cleared)
+			}
+		})
+	}
+}
+
+// TestSharersPromotionBoundaries pins the exact representation changes
+// at the 31/32 id edge and the 64/65 element edge.
+func TestSharersPromotionBoundaries(t *testing.T) {
+	s := GPMBit(31)
+	if s.big != nil {
+		t.Fatal("GPMBit(31) should be inline")
+	}
+	s = s.With(GPMBit(32))
+	if s.big == nil || s.big.form != formVector {
+		t.Fatalf("adding id 32 should promote to vector, got %#v", s)
+	}
+	if !s.Has(GPMBit(31)) || !s.Has(GPMBit(32)) || s.Count() != 2 {
+		t.Fatalf("promoted set lost members: %v", s)
+	}
+	// Dropping the large id must demote back to the inline word, making
+	// == meaningful again.
+	if d := s.Without(GPMBit(32)); d != GPMBit(31) {
+		t.Fatalf("demotion after Without(32): %#v != GPMBit(31)", d)
+	}
+
+	// Fill 65 distinct large elements: 64 stays vector, 65 flips to
+	// bitmap, removing one flips back.
+	var v Sharers
+	for i := 0; i < 64; i++ {
+		v = v.With(GPMBit(100 + i))
+	}
+	if v.big == nil || v.big.form != formVector || v.Count() != 64 {
+		t.Fatalf("64-element set should be a vector, got %#v", v)
+	}
+	v65 := v.With(GPUBit(500))
+	if v65.big == nil || v65.big.form != formBitmap || v65.Count() != 65 {
+		t.Fatalf("65-element set should be a bitmap, got %#v", v65)
+	}
+	back := v65.Without(GPUBit(500))
+	if back.big == nil || back.big.form != formVector || !back.Equal(v) {
+		t.Fatalf("demotion from bitmap to vector failed: %#v", back)
+	}
+}
+
+// TestSharersMixedRepresentationOps exercises every inline/promoted
+// operand pairing of Has/With/Without.
+func TestSharersMixedRepresentationOps(t *testing.T) {
+	small := GPMBit(1).With(GPUBit(2))
+	big := GPMBit(40).With(GPUBit(50))
+	mixed := small.With(big)
+
+	if small.Has(big) {
+		t.Fatal("inline set claims to contain large ids")
+	}
+	if !mixed.Has(small) || !mixed.Has(big) {
+		t.Fatal("union lost an operand")
+	}
+	if got := mixed.Without(big); got != small {
+		t.Fatalf("mixed minus big = %v, want inline %v", got, small)
+	}
+	if got := mixed.Without(small); !got.Equal(big) {
+		t.Fatalf("mixed minus small = %v, want %v", got, big)
+	}
+	if mixed.String() != "[GPM1 GPM40 GPU2 GPU50]" {
+		t.Fatalf("String = %q", mixed.String())
+	}
+	// GPM id and GPU id with the same numeric value are distinct.
+	if GPMBit(40).Has(GPUBit(40)) || GPUBit(40).Has(GPMBit(40)) {
+		t.Fatal("GPM and GPU id spaces collided")
+	}
+	if GPMBit(40).Equal(GPUBit(40)) {
+		t.Fatal("Equal conflated GPM and GPU ids")
+	}
+}
+
+// TestStorageAt16x8 pins the §VII-C storage accounting at the largest
+// toposcale machine: a 16-GPU, 8-GPM-per-GPU system bills M+N-2 = 22
+// sharers per hierarchical entry.
+func TestStorageAt16x8(t *testing.T) {
+	const gpus, gpms, tagBits = 16, 8, 48
+	maxSharers := gpms - 1 + gpus - 1
+	if maxSharers != 22 {
+		t.Fatalf("M+N-2 = %d, want 22", maxSharers)
+	}
+	if got := StorageBits(tagBits, maxSharers); got != 1+48+22 {
+		t.Fatalf("StorageBits = %d, want 71", got)
+	}
+	flat := StorageBits(tagBits, gpus*gpms-1)
+	if flat != 1+48+127 {
+		t.Fatalf("flat StorageBits = %d, want 176", flat)
+	}
+	if StorageBytes(12*1024, tagBits, maxSharers) >= StorageBytes(12*1024, tagBits, gpus*gpms-1) {
+		t.Fatal("hierarchical entries should be cheaper than flat at 16x8")
+	}
+}

@@ -142,8 +142,8 @@ func TestPrewarmDeterminism(t *testing.T) {
 // plans whose specs all canonicalize into the runner's memo space.
 func TestRegistry(t *testing.T) {
 	figs := Figures()
-	if len(figs) != 21 {
-		t.Fatalf("registry has %d figures, want 21", len(figs))
+	if len(figs) != 22 {
+		t.Fatalf("registry has %d figures, want 22", len(figs))
 	}
 	seen := map[string]bool{}
 	for _, f := range figs {
@@ -167,7 +167,7 @@ func TestRegistry(t *testing.T) {
 	}
 	keys := map[runKey]bool{}
 	for _, s := range fig8.Plan() {
-		keys[r.key(s.Bench, s.Kind, s.V, s.GPUs)] = true
+		keys[r.key(s.Bench, s.Kind, s.V, s.Topo)] = true
 	}
 	if want := 20 * 6; len(keys) != want {
 		t.Fatalf("fig8 plan has %d unique keys, want %d", len(keys), want)
@@ -183,7 +183,7 @@ func TestRegistry(t *testing.T) {
 	}
 	shared := 0
 	for _, s := range scaling.Plan() {
-		if keys[r.key(s.Bench, s.Kind, s.V, s.GPUs)] {
+		if keys[r.key(s.Bench, s.Kind, s.V, s.Topo)] {
 			shared++
 		}
 	}

@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; long campaign tests scale down or skip under it.
+const raceEnabled = true

@@ -3,19 +3,20 @@ package experiments
 import (
 	"hmg/internal/proto"
 	"hmg/internal/report"
+	"hmg/internal/topo"
 	"hmg/internal/workload"
 )
 
 // RunSpec identifies one memoizable simulation of a campaign: a
 // benchmark under a protocol and architectural variant, optionally on a
-// non-default machine size (GPUs == 0 means the Table II 4-GPU system).
-// Specs that canonicalize to the same memo key (see Runner.key) execute
-// once.
+// non-default machine shape (the zero Spec means the campaign's base
+// machine — Table II's 4x4 unless Options.Topo reshapes it). Specs that
+// canonicalize to the same memo key (see Runner.key) execute once.
 type RunSpec struct {
 	Bench workload.Params
 	Kind  proto.Kind
 	V     Variant
-	GPUs  int
+	Topo  topo.Spec
 }
 
 // Figure is one entry of the campaign registry: a table generator plus
@@ -51,6 +52,7 @@ func Figures() []Figure {
 		{"writeback", WriteBackAblation, writeBackPlan},
 		{"gpmscope", GPMScopeStudy, gpmScopePlan},
 		{"scaling", ScalingStudy, scalingPlan},
+		{"toposcale", TopoScale, topoScalePlan},
 		{"carve", RelatedProtocols, speedupPlan([]proto.Kind{proto.NHCC, proto.CARVE, proto.HMG})},
 		{"locality", LocalityAblation, localityPlan},
 		{"mca", MCAStudy, speedupPlan([]proto.Kind{proto.GPUVI, proto.NHCC, proto.HMG})},
@@ -159,9 +161,9 @@ func scalingPlan() []RunSpec {
 	var specs []RunSpec
 	for _, gpus := range scalingGPUCounts {
 		for _, b := range workload.Suite() {
-			specs = append(specs, RunSpec{Bench: b, Kind: proto.NoRemoteCache, GPUs: gpus})
+			specs = append(specs, RunSpec{Bench: b, Kind: proto.NoRemoteCache, Topo: topo.Spec{NumGPUs: gpus}})
 			for _, k := range scalingKinds {
-				specs = append(specs, RunSpec{Bench: b, Kind: k, GPUs: gpus})
+				specs = append(specs, RunSpec{Bench: b, Kind: k, Topo: topo.Spec{NumGPUs: gpus}})
 			}
 		}
 	}

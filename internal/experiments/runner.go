@@ -42,6 +42,10 @@ type Options struct {
 	// footprints are scaled ~64× below Table III, so pages scale from
 	// 2MB to 64KB to keep a representative page count.
 	PageSizeKB int
+	// Topo reshapes the base machine (zero fields keep the Table II
+	// 4x4 shape). Per-run topology overrides in a RunSpec stack on top
+	// of this campaign-wide shape.
+	Topo topo.Spec
 	// Jobs bounds the worker pool of Prewarm (default GOMAXPROCS).
 	// Figure tables are independent of Jobs: parallelism only warms the
 	// memo cache faster.
@@ -211,10 +215,6 @@ func (r *Runner) logf(format string, args ...any) {
 // full scale.
 const ScaleDown = 96
 
-// tableIIGPUs is the machine size of the Table II configuration; scaled
-// machine runs at this GPU count share memo entries with unscaled runs.
-const tableIIGPUs = 4
-
 // Config builds the simulated system configuration for a protocol and
 // variant. Capacities scale by ScaleDown; bandwidths scale by the SM
 // aggregation factor (each modeled SM stands for several physical SMs,
@@ -232,6 +232,7 @@ func (r *Runner) Config(kind proto.Kind, v Variant) gsim.Config {
 	if agg < 1 {
 		agg = 1
 	}
+	cfg.Topo = r.opts.Topo.Apply(cfg.Topo)
 	cfg.Topo.PageSize = r.opts.PageSizeKB * 1024
 	cfg.Net.NVLinkGBs = v.NVLinkGBs / agg
 	cfg.Net.XbarPortGBs /= agg
@@ -246,12 +247,19 @@ func (r *Runner) Config(kind proto.Kind, v Variant) gsim.Config {
 	return cfg
 }
 
+// baseSpec is the campaign-wide machine shape: the Table II topology
+// reshaped by Options.Topo.
+func (r *Runner) baseSpec() topo.Spec {
+	return r.opts.Topo.Apply(gsim.DefaultConfig(r.opts.SMsPerGPM, proto.HMG).Topo).Spec()
+}
+
 // key canonicalizes a run to its memo key. Directory parameters are
 // canonicalized away for software and ideal configurations (they have
 // no directories), so sweeps over directory size reuse their runs; a
-// Table II-sized machine (gpus == 4 or 0) shares a key with unscaled
-// runs.
-func (r *Runner) key(bench workload.Params, kind proto.Kind, v Variant, gpus int) runKey {
+// per-run topology override that resolves to the campaign's base shape
+// (e.g. Spec{NumGPUs: 4} on the Table II machine) shares a key with
+// plain runs.
+func (r *Runner) key(bench workload.Params, kind proto.Kind, v Variant, sp topo.Spec) runKey {
 	v = v.withDefaults()
 	if !proto.For(kind).Hardware {
 		def := Variant{}.withDefaults()
@@ -260,8 +268,9 @@ func (r *Runner) key(bench workload.Params, kind proto.Kind, v Variant, gpus int
 		v.Downgrade = false
 	}
 	name := bench.Abbrev
-	if gpus != 0 && gpus != tableIIGPUs {
-		name = fmt.Sprintf("%s@%dgpu", name, gpus)
+	base := r.baseSpec()
+	if eff := sp.Apply(topo.Topology{NumGPUs: base.NumGPUs, GPMsPerGPU: base.GPMsPerGPU}).Spec(); eff != base {
+		name = fmt.Sprintf("%s@%s", name, eff)
 	}
 	return runKey{name, kind, v}
 }
@@ -302,13 +311,12 @@ func (r *Runner) memoized(key runKey, sim func() (*gsim.Results, error)) (*gsim.
 	return e.res, nil
 }
 
-// simulate executes one run for real: build the configuration (at an
-// optional non-default GPU count), generate the trace, and run it.
-func (r *Runner) simulate(bench workload.Params, kind proto.Kind, v Variant, gpus int) (*gsim.Results, error) {
+// simulate executes one run for real: build the configuration (under
+// an optional per-run topology override), generate the trace, and run
+// it.
+func (r *Runner) simulate(bench workload.Params, kind proto.Kind, v Variant, sp topo.Spec) (*gsim.Results, error) {
 	cfg := r.Config(kind, v)
-	if gpus != 0 {
-		cfg.Topo.NumGPUs = gpus
-	}
+	cfg.Topo = sp.Apply(cfg.Topo)
 	sys, err := gsim.New(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s/%v: %w", bench.Abbrev, kind, err)
@@ -328,9 +336,15 @@ func (r *Runner) simulate(bench workload.Params, kind proto.Kind, v Variant, gpu
 
 // Run simulates one benchmark under one protocol and variant, memoized.
 func (r *Runner) Run(bench workload.Params, kind proto.Kind, v Variant) (*gsim.Results, error) {
-	key := r.key(bench, kind, v, 0)
+	return r.runAt(bench, kind, v, topo.Spec{})
+}
+
+// runAt is Run with a per-run topology override stacked on the
+// campaign's base shape.
+func (r *Runner) runAt(bench workload.Params, kind proto.Kind, v Variant, sp topo.Spec) (*gsim.Results, error) {
+	key := r.key(bench, kind, v, sp)
 	return r.memoized(key, func() (*gsim.Results, error) {
-		return r.simulate(bench, kind, key.v, 0)
+		return r.simulate(bench, kind, key.v, sp)
 	})
 }
 
@@ -361,7 +375,7 @@ func (r *Runner) Prewarm(specs []RunSpec) error {
 	seen := make(map[runKey]bool, len(specs))
 	var todo []RunSpec
 	for _, s := range specs {
-		k := r.key(s.Bench, s.Kind, s.V, s.GPUs)
+		k := r.key(s.Bench, s.Kind, s.V, s.Topo)
 		if seen[k] {
 			continue
 		}
@@ -391,13 +405,7 @@ func (r *Runner) Prewarm(specs []RunSpec) error {
 		go func() {
 			defer wg.Done()
 			for s := range work {
-				var err error
-				if s.GPUs != 0 {
-					_, err = r.runScaled(s.Bench, s.Kind, s.GPUs)
-				} else {
-					_, err = r.Run(s.Bench, s.Kind, s.V)
-				}
-				if err != nil {
+				if _, err := r.runAt(s.Bench, s.Kind, s.V, s.Topo); err != nil {
 					errMu.Lock()
 					if firstErr == nil {
 						firstErr = err

@@ -7,6 +7,7 @@ import (
 	"hmg/internal/proto"
 	"hmg/internal/report"
 	"hmg/internal/stats"
+	"hmg/internal/topo"
 	"hmg/internal/workload"
 )
 
@@ -54,12 +55,10 @@ func ScalingStudy(r *Runner) (*report.Table, error) {
 	return t, nil
 }
 
-// runScaled runs one benchmark on a machine with the given GPU count,
-// memoized under a synthetic key (a 4-GPU machine is the Table II
-// configuration and shares its memo entries with plain runs).
+// runScaled runs one benchmark on a machine with the given GPU count
+// (keeping the base GPMs per GPU), memoized under a topology-suffixed
+// key — a 4-GPU machine is the Table II configuration and shares its
+// memo entries with plain runs.
 func (r *Runner) runScaled(bench workload.Params, kind proto.Kind, gpus int) (*gsim.Results, error) {
-	key := r.key(bench, kind, Variant{}, gpus)
-	return r.memoized(key, func() (*gsim.Results, error) {
-		return r.simulate(bench, kind, key.v, gpus)
-	})
+	return r.runAt(bench, kind, Variant{}, topo.Spec{NumGPUs: gpus})
 }

@@ -133,8 +133,23 @@ func (c Config) Validate() error {
 	if c.MaxWarpInflight <= 0 || c.MaxSMInflight <= 0 {
 		return fmt.Errorf("gsim: inflight limits must be positive")
 	}
-	if c.Topo.GPMsPerGPU > 32 || c.Topo.NumGPUs > 32 {
-		return fmt.Errorf("gsim: sharer bitsets support at most 32 GPMs per GPU and 32 GPUs")
+	// Sharer-id-space validation is protocol-aware: flat hardware
+	// protocols name sharers by global GPM id, so the whole machine must
+	// fit one id space; hierarchical ones name GPU-local module indices
+	// and GPU ids, so each axis is bounded independently. Software and
+	// ideal policies track no sharers and accept any shape. Rejecting
+	// here turns what used to be a directory.GPMBit panic deep inside
+	// the first access into a constructor error.
+	if c.Policy.Hardware {
+		if c.Policy.Hierarchical {
+			if c.Topo.GPMsPerGPU > directory.MaxSharerIDs || c.Topo.NumGPUs > directory.MaxSharerIDs {
+				return fmt.Errorf("gsim: %v tracks GPU-local module and GPU ids: topology %v exceeds the %d-id sharer space",
+					c.Policy.Kind, c.Topo, directory.MaxSharerIDs)
+			}
+		} else if c.Topo.TotalGPMs() > directory.MaxSharerIDs {
+			return fmt.Errorf("gsim: %v tracks global GPM ids: topology %v has %d GPMs, exceeding the %d-id sharer space",
+				c.Policy.Kind, c.Topo, c.Topo.TotalGPMs(), directory.MaxSharerIDs)
+		}
 	}
 	return nil
 }

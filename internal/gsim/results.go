@@ -28,6 +28,7 @@ type Results struct {
 	InterGPULoadReqs uint64
 	InvMsgsOnWire    uint64
 	InvBytes         uint64 // all links, Fig. 11 numerator
+	InterGPUInvBytes uint64 // inter-GPU links only, the toposcale metric
 
 	// Directory profile (hardware protocols).
 	DirStoresSeen    uint64
@@ -93,6 +94,7 @@ func (s *System) collectResults(tr *trace.Trace) *Results {
 		r.IntraGPUBytes += intra[k]
 	}
 	r.InvBytes = inter[msg.Inv] + intra[msg.Inv]
+	r.InterGPUInvBytes = inter[msg.Inv]
 	r.InvMsgsOnWire = s.Net.InterGPUMsgs[msg.Inv] + s.Net.IntraGPUMsgs[msg.Inv]
 	r.InterGPULoadReqs = s.Net.InterGPUMsgs[msg.LoadReq]
 	return r
@@ -126,6 +128,17 @@ func (r *Results) InvBandwidthGBs() float64 {
 		return 0
 	}
 	return float64(r.InvBytes) / r.Seconds / 1e9
+}
+
+// InterGPUInvGBs returns the bandwidth cost of invalidation messages
+// crossing inter-GPU links in GB/s of simulated time — the traffic the
+// hierarchical protocol's GPU-coalesced invalidations are designed to
+// bound as the machine grows.
+func (r *Results) InterGPUInvGBs() float64 {
+	if r.Seconds == 0 {
+		return 0
+	}
+	return float64(r.InterGPUInvBytes) / r.Seconds / 1e9
 }
 
 // InterGPUGBs returns the average inter-GPU traffic in GB/s.

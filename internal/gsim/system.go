@@ -188,7 +188,15 @@ func New(cfg Config) (*System, error) {
 			atomicQ:      make(map[topo.Line][]func()),
 		}
 		if cfg.Policy.Hardware {
-			gpm.Dir = proto.NewDirCtrl(cfg.Dir)
+			dcfg := cfg.Dir
+			if dcfg.Shards == 0 {
+				// Shard directory storage by address slice in proportion
+				// to machine size, so per-GPM allocation scales lazily
+				// with the footprint each directory actually tracks.
+				// Sharding never changes lookup results or statistics.
+				dcfg.Shards = cfg.Topo.TotalGPMs()
+			}
+			gpm.Dir = proto.NewDirCtrl(dcfg)
 			gpm.Dir.Mutate = cfg.Mutation
 		}
 		if cfg.Policy.Classify {

@@ -46,6 +46,11 @@ type DiffConfig struct {
 	Mutation proto.Mutation
 	Seed     uint64
 	Ops      int
+	// Reqs overrides the requester pool (nil for the defaults). Large
+	// ids here drive both sides through the promoted sharer-set
+	// representations; a hierarchical table is required for GPU
+	// requesters.
+	Reqs []proto.Requester
 }
 
 // DefaultDiffConfig returns the configuration used by cmd/hmgspec and
@@ -108,13 +113,16 @@ func Diff(cfg DiffConfig) ([]Divergence, error) {
 	// Requester pools: flat tables use global GPM ids; hierarchical
 	// tables mix local GPM indices with GPU ids, as at an HMG system
 	// home.
-	reqs := []proto.Requester{
-		proto.GPMRequester(1), proto.GPMRequester(2), proto.GPMRequester(3),
-	}
-	if cfg.Table.Hierarchical {
+	reqs := cfg.Reqs
+	if reqs == nil {
 		reqs = []proto.Requester{
-			proto.GPMRequester(1), proto.GPMRequester(2),
-			proto.GPURequester(1), proto.GPURequester(2),
+			proto.GPMRequester(1), proto.GPMRequester(2), proto.GPMRequester(3),
+		}
+		if cfg.Table.Hierarchical {
+			reqs = []proto.Requester{
+				proto.GPMRequester(1), proto.GPMRequester(2),
+				proto.GPURequester(1), proto.GPURequester(2),
+			}
 		}
 	}
 	regions := 2 * cfg.Dir.Entries // twice capacity: replacement is routine
@@ -266,7 +274,7 @@ func compareSnapshots(step int, op string, impl *proto.DirCtrl, model *Model,
 		return
 	}
 	for i := range is {
-		if is[i].Region != ms[i].Region || is[i].Sharers != ms[i].Sharers {
+		if is[i].Region != ms[i].Region || !is[i].Sharers.Equal(ms[i].Sharers) {
 			report(step, op, "directory-state",
 				fmt.Sprintf("r%d=%v", is[i].Region, is[i].Sharers),
 				fmt.Sprintf("r%d=%v", ms[i].Region, ms[i].Sharers))

@@ -78,7 +78,7 @@ func (n nodeState) spec() (State, directory.Sharers) {
 	if n.Valid {
 		return StateV, n.Sharers
 	}
-	return StateI, 0
+	return StateI, directory.Sharers{}
 }
 
 func (n nodeState) String() string {

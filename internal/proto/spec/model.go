@@ -33,7 +33,7 @@ func (m *Model) State(r directory.Region) (State, directory.Sharers) {
 	if sh, ok := m.entries[r]; ok {
 		return StateV, sh
 	}
-	return StateI, 0
+	return StateI, directory.Sharers{}
 }
 
 // Apply runs one event against a region and commits the outcome:

@@ -274,7 +274,7 @@ func (t Table) Apply(st State, sh directory.Sharers, ev Event) (Outcome, error) 
 		case OnlyRequester:
 			out.Sharers = ev.Req.Bit()
 		case ClearSharers:
-			out.Sharers = 0
+			out.Sharers = directory.Sharers{}
 		default:
 			panic(fmt.Sprintf("spec: unknown sharer update %d", uint8(r.Update)))
 		}

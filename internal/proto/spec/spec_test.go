@@ -68,7 +68,7 @@ func TestApplyTransitions(t *testing.T) {
 	g1 := proto.GPURequester(1)
 
 	// I + RemoteLd → V{requester}, no invalidations.
-	out, err := tab.Apply(StateI, 0, Event{Kind: RemoteLd, Req: m1})
+	out, err := tab.Apply(StateI, directory.Sharers{}, Event{Kind: RemoteLd, Req: m1})
 	if err != nil || out.Next != StateV || out.Sharers != m1.Bit() || len(out.Inv) != 0 {
 		t.Fatalf("I+RemoteLd: %+v, %v", out, err)
 	}
@@ -93,7 +93,7 @@ func TestApplyTransitions(t *testing.T) {
 	}
 	// V + LocalSt → I invalidating the full set.
 	out, err = tab.Apply(StateV, sh, Event{Kind: LocalSt})
-	if err != nil || out.Next != StateI || out.Sharers != 0 || !targetsEqual(out.Inv, proto.TargetsOf(sh)) {
+	if err != nil || out.Next != StateI || !out.Sharers.IsEmpty() || !targetsEqual(out.Inv, proto.TargetsOf(sh)) {
 		t.Fatalf("V+LocalSt: %+v, %v", out, err)
 	}
 	// V + Invalidation → I forwarding to the full set (HMG column).
@@ -111,9 +111,9 @@ func TestApplyRejectsInadmissibleEvents(t *testing.T) {
 		sh   directory.Sharers
 		ev   Event
 	}{
-		{"GPU requester under flat table", StateI, 0, Event{Kind: RemoteLd, Req: proto.GPURequester(1)}},
+		{"GPU requester under flat table", StateI, directory.Sharers{}, Event{Kind: RemoteLd, Req: proto.GPURequester(1)}},
 		{"Invalidation under flat table", StateV, proto.GPMRequester(1).Bit(), Event{Kind: Invalidation}},
-		{"ReplaceEntry on absent entry", StateI, 0, Event{Kind: ReplaceEntry}},
+		{"ReplaceEntry on absent entry", StateI, directory.Sharers{}, Event{Kind: ReplaceEntry}},
 		{"sharers in state I", StateI, proto.GPMRequester(1).Bit(), Event{Kind: LocalLd}},
 	}
 	for _, c := range cases {
@@ -327,5 +327,40 @@ func TestDesignDocSync(t *testing.T) {
 	want := "\n" + RenderDoc() + "\n"
 	if embedded != want {
 		t.Errorf("DESIGN.md Table I section is stale; regenerate with `go run ./cmd/hmgspec -render`\n--- embedded ---\n%s\n--- rendered ---\n%s", embedded, want)
+	}
+}
+
+// TestDiffLargeIDRequesters reruns the trunk-clean differ with
+// requester pools whose ids live far past the 32-id inline sharer word,
+// driving both the DirCtrl and the model through the promoted vector
+// and bitmap representations. The spec must still match exactly.
+func TestDiffLargeIDRequesters(t *testing.T) {
+	flatReqs := []proto.Requester{
+		proto.GPMRequester(1), proto.GPMRequester(31), proto.GPMRequester(32),
+		proto.GPMRequester(63), proto.GPMRequester(64), proto.GPMRequester(127),
+	}
+	hierReqs := []proto.Requester{
+		proto.GPMRequester(2), proto.GPMRequester(40),
+		proto.GPURequester(33), proto.GPURequester(100),
+	}
+	for _, tc := range []struct {
+		tab  Table
+		reqs []proto.Requester
+	}{
+		{NHCC(), flatReqs},
+		{HMG(), hierReqs},
+	} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			cfg := DefaultDiffConfig(tc.tab)
+			cfg.Seed = seed
+			cfg.Reqs = tc.reqs
+			divs, err := Diff(cfg)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", tc.tab.Name, seed, err)
+			}
+			for _, d := range divs {
+				t.Errorf("%s seed %d: %v", tc.tab.Name, seed, d)
+			}
+		}
 	}
 }

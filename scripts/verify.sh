@@ -15,6 +15,11 @@
 # the benchmark suite under every protocol with the invariant checker
 # attached) and a short burst of coverage-guided litmus fuzzing.
 #
+# The scaling smoke tier runs one benchmark on an 8x8 machine (64
+# global GPMs — past the 32-id inline sharer word, so flat NHCC runs on
+# the promoted sparse sharer sets) under the invariant checker, for both
+# the flat and hierarchical hardware protocols.
+#
 # The spec tier runs cmd/hmgspec: the machine-readable Table I is
 # validated, exhaustively enumerated on the small model, and diffed
 # against proto.DirCtrl — then each deliberate proto.Mutation bit is
@@ -62,6 +67,11 @@ echo "hmgspec: all 3 mutation bits diverge from the spec (teeth OK)"
 
 echo "== conformance sweep (hmgcheck)"
 go run ./cmd/hmgcheck -seeds 64 -scale 0.1
+
+echo "== scaling smoke (8x8 machine, promoted sharer sets, checker attached)"
+go run ./cmd/hmgsim -bench bfs -protocol NHCC -topo 8x8 -scale 0.1 -check >/dev/null
+go run ./cmd/hmgsim -bench bfs -protocol HMG -topo 8x8 -scale 0.1 -check >/dev/null
+echo "scaling smoke: NHCC and HMG clean at 8x8 (64 global GPMs)"
 
 echo "== litmus fuzz smoke"
 go test ./internal/check -fuzz=FuzzLitmus -fuzztime=10s
