@@ -1,9 +1,10 @@
 // Command hmglint runs the repo's static-analysis suite
-// (internal/lint): determinism, eventemit, exhaustive, and
-// readonlyhooks. It works standalone —
+// (internal/lint): determinism, eventemit, exhaustive, hotalloc,
+// readonlyhooks, and speccover. It works standalone —
 //
 //	hmglint ./...
 //	hmglint -analyzers determinism,exhaustive ./internal/gsim
+//	hmglint -json ./...
 //
 // — or as a go vet tool:
 //

@@ -42,6 +42,8 @@ func (e *Entry) Value(word uint16) (uint64, bool) {
 }
 
 // SetValue records a word value on the line.
+//
+//lint:allow hotalloc sparse value-tracking map; allocated on the first tracked write to a line
 func (e *Entry) SetValue(word uint16, v uint64) {
 	if e.Data == nil {
 		e.Data = make(map[uint16]uint64, 4)
@@ -51,6 +53,8 @@ func (e *Entry) SetValue(word uint16, v uint64) {
 
 // MergeFrom copies all tracked words of src into e, overwriting e's view.
 // Fill responses use it to install home-node data.
+//
+//lint:allow hotalloc sparse value-tracking map; allocated on the first tracked fill of a line
 func (e *Entry) MergeFrom(src map[uint16]uint64) {
 	if len(src) == 0 {
 		return

@@ -152,6 +152,8 @@ func (d *Dir) setOf(r Region) []Entry {
 
 // allocShard materializes one shard's sets. The last shard may cover
 // fewer sets when shards do not divide numSets evenly.
+//
+//lint:allow hotalloc lazy shard materialization; at most once per shard over the run
 func (d *Dir) allocShard(idx uint64) *shard {
 	local := d.setsPerShard
 	if rem := d.numSets - idx*d.setsPerShard; rem < local {

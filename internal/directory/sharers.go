@@ -70,6 +70,8 @@ type bigSet struct {
 }
 
 // GPMBit returns the sharer set holding exactly one GPM index.
+//
+//lint:allow hotalloc promoted (>=32-id) sharer-set path; inline word sets allocate nothing
 func GPMBit(i int) Sharers {
 	if i < 0 || i >= MaxSharerIDs {
 		panic(fmt.Sprintf("directory: GPM sharer index %d out of range [0, %d)", i, MaxSharerIDs))
@@ -81,6 +83,8 @@ func GPMBit(i int) Sharers {
 }
 
 // GPUBit returns the sharer set holding exactly one GPU id.
+//
+//lint:allow hotalloc promoted (>=32-id) sharer-set path; inline word sets allocate nothing
 func GPUBit(j int) Sharers {
 	if j < 0 || j >= MaxSharerIDs {
 		panic(fmt.Sprintf("directory: GPU sharer index %d out of range [0, %d)", j, MaxSharerIDs))
@@ -236,6 +240,8 @@ func (s Sharers) String() string {
 // GPU ids with gpuFlag set. GPM keys sort below every GPU key, so
 // appending the GPM elements then the GPU elements keeps the slice
 // sorted.
+//
+//lint:allow hotalloc promoted sharer-set expansion; inline word sets allocate nothing
 func (s Sharers) keys() []uint32 {
 	if s.big == nil {
 		if s.word == 0 {
@@ -263,6 +269,8 @@ func (s Sharers) keys() []uint32 {
 // duplicate-free key slice: the inline word when every id fits it, else
 // a vector up to vectorMax elements, else bitmaps. The slice must not
 // be mutated afterwards (union/diff always build fresh slices).
+//
+//lint:allow hotalloc promoted sharer-set construction; inline word sets allocate nothing
 func fromKeys(keys []uint32) Sharers {
 	if len(keys) == 0 {
 		return Sharers{}
@@ -338,6 +346,8 @@ func wordsEqual(a, b []uint64) bool {
 // setBit grows the bitmap as needed and sets bit id. Bitmaps are only
 // ever built from key slices, so the highest word is always non-zero
 // and the length is canonical for the membership.
+//
+//lint:allow hotalloc promoted sharer-set bitmap append; bounded by MaxSharerIDs
 func setBit(words []uint64, id int) []uint64 {
 	w := id / 64
 	for len(words) <= w {
@@ -359,6 +369,8 @@ func forEachBit(words []uint64, fn func(int)) {
 }
 
 // unionKeys merges two sorted key slices into a fresh sorted slice.
+//
+//lint:allow hotalloc promoted sharer-set union; inline word sets allocate nothing
 func unionKeys(a, b []uint32) []uint32 {
 	out := make([]uint32, 0, len(a)+len(b))
 	i, j := 0, 0
@@ -382,6 +394,8 @@ func unionKeys(a, b []uint32) []uint32 {
 }
 
 // diffKeys returns a minus b as a fresh sorted slice.
+//
+//lint:allow hotalloc promoted sharer-set difference; inline word sets allocate nothing
 func diffKeys(a, b []uint32) []uint32 {
 	out := make([]uint32, 0, len(a))
 	j := 0

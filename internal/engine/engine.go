@@ -73,6 +73,8 @@ type eventQueue struct {
 func (q *eventQueue) len() int { return len(q.evs) }
 
 // push appends ev and restores the heap order by sifting it up.
+//
+//lint:allow hotalloc free-list append; growth is amortized and the backing array is reused in steady state
 func (q *eventQueue) push(ev event) {
 	q.evs = append(q.evs, ev)
 	i := len(q.evs) - 1

@@ -93,6 +93,8 @@ func (s *System) classifyStore(home *GPM, l topo.Line, accessor topo.GPMID) bool
 // broadcastInv invalidates a region in every other GPM's L2 — CARVE's
 // untargeted fan-out, tracked by the home's invalidation gates exactly
 // like directory-generated invalidations.
+//
+//lint:allow hotalloc CARVE broadcast delivery continuation; budget gated by the hmgperf allocs/event baseline
 func (s *System) broadcastInv(home *GPM, l topo.Line) {
 	first := topo.Line(uint64(classRegionOf(l)) * topo.HomeGranuleLines)
 	for g := 0; g < s.Cfg.Topo.TotalGPMs(); g++ {

@@ -23,6 +23,8 @@ func (d *drain) Start() { d.started++ }
 
 // Finish records completion of one tracked operation and fires any
 // waiters whose epoch has drained. Operations must finish exactly once.
+//
+//lint:allow hotalloc waiter fire list; allocates only when a fence is actually waiting
 func (d *drain) Finish() {
 	d.finished++
 	if d.finished > d.started {
@@ -48,6 +50,8 @@ func (d *drain) Finish() {
 
 // Wait invokes fn once all currently started operations have finished;
 // immediately if none are outstanding.
+//
+//lint:allow hotalloc fence waiter registration; fences are synchronization points, not steady-state events
 func (d *drain) Wait(fn func()) {
 	if d.finished >= d.started {
 		fn()

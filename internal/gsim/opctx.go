@@ -57,6 +57,10 @@ const (
 	stageGPUHomeStore
 	// stageStartStore runs the SM-side post-L1 leg of a store.
 	stageStartStore
+	// stageStoreWB runs the write-back-option L2 leg of a store: absorb
+	// the store into a dirty local slice hit, or fall through to the
+	// write-through path.
+	stageStoreWB
 	// stageWBSysHome applies a write-back at the system home.
 	stageWBSysHome
 	// stageWBGPUHome applies a write-back at a GPU home node.
@@ -91,6 +95,8 @@ type opCtx struct {
 
 // newCtx draws a context from the free list (or allocates one while the
 // pool warms up) and tags it with a stage.
+//
+//lint:allow hotalloc pool warm-up allocation; steady state draws from the free list
 func (s *System) newCtx(stage ctxStage) *opCtx {
 	n := len(s.ctxFree)
 	if n == 0 {
@@ -104,6 +110,8 @@ func (s *System) newCtx(stage ctxStage) *opCtx {
 }
 
 // release zeroes the context and returns it to the free list.
+//
+//lint:allow hotalloc free-list append; growth is amortized across the pool's lifetime
 func (c *opCtx) release() {
 	s := c.s
 	*c = opCtx{s: s}
@@ -162,6 +170,16 @@ func (c *opCtx) Handle() {
 		sm, op, line, word := c.sm, c.op, c.line, c.word
 		c.release()
 		sm.storeAfterL1(op, line, word)
+	case stageStoreWB:
+		sm, op, line, word := c.sm, c.op, c.line, c.word
+		c.release()
+		s := sm.sys
+		if s.tryWriteBackHit(sm.gpm, line, word, op.Val) {
+			sm.gpuHomeGate.Finish()
+			sm.sysHomeGate.Finish()
+			return
+		}
+		s.l2Store(sm, op, line, word)
 	case stageWBSysHome:
 		s, sh, req, local, line, data, onGPU, onSys :=
 			c.s, c.g, c.req, c.flag, c.line, c.data, c.onGPU, c.onSys

@@ -102,6 +102,8 @@ func (w *warpCtx) tryIssue() {
 }
 
 // issue dispatches one op into the memory system.
+//
+//lint:allow hotalloc per-op observe/completion closures; allocation budget gated by the hmgperf allocs/event baseline
 func (w *warpCtx) issue(op trace.Op) {
 	sm := w.sm
 	sys := sm.sys
@@ -210,6 +212,8 @@ func (sm *SM) acquireInvalidate(scope trace.Scope) {
 // reach the scope's home, fence in-flight invalidations for the scope's
 // domain (hardware protocols), then perform the releasing store and wait
 // for it to reach the scope's home.
+//
+//lint:allow hotalloc per-op completion closures; budget gated by the hmgperf allocs/event baseline
 func (sm *SM) release(op trace.Op, done func()) {
 	p := sm.sys.Cfg.Policy
 	if p.NoCoherence {
@@ -252,6 +256,8 @@ func (sm *SM) release(op trace.Op, done func()) {
 // scope's domain; each acks once the invalidations it had in flight at
 // probe arrival are delivered. Software protocols send none (they have
 // no background invalidations).
+//
+//lint:allow hotalloc fence fan-out targets and continuations; fences are synchronization points, not steady-state events
 func (sm *SM) fenceInvalidations(scope trace.Scope, done func()) {
 	p := sm.sys.Cfg.Policy
 	if !p.Hardware || scope <= trace.ScopeGPM {

@@ -65,6 +65,8 @@ type fetchKey struct {
 // fetch merges concurrent requests for the same line+destination: the
 // first caller runs start (which must eventually invoke its callback
 // exactly once with the response data); later callers just enqueue.
+//
+//lint:allow hotalloc per-fetch waiter list and reply continuations; budget gated by the hmgperf allocs/event baseline
 func (g *GPM) fetch(key fetchKey, reply func(fillData), start func(done func(fillData))) {
 	if waiters, busy := g.mshr[key]; busy {
 		g.mshr[key] = append(waiters, reply)
@@ -103,6 +105,8 @@ func (g *GPM) poisonRegion(first topo.Line, n int) {
 
 // lockLine serializes atomic operations on one line; fn runs immediately
 // if the line is free, else when the current holder unlocks.
+//
+//lint:allow hotalloc line-lock waiter queue; allocates only on contended lines
 func (g *GPM) lockLine(l topo.Line, fn func()) {
 	if q, busy := g.atomicQ[l]; busy {
 		g.atomicQ[l] = append(q, fn)
@@ -350,6 +354,8 @@ func (s *System) warpFinished() {
 // Store gates are drained first: invalidations are started synchronously
 // when a store is processed at its home, so once store gates drain, all
 // triggered invalidations are already counted.
+//
+//lint:allow hotalloc kernel-drain recursion closure; a kernel-boundary event, not steady state
 func (s *System) finishKernelWhenDrained() {
 	// Under write-back, absorptions may still be in flight when the last
 	// warp retires: wait for the store gates first, then flush dirty
@@ -366,6 +372,7 @@ func (s *System) finishKernelWhenDrained() {
 	})
 }
 
+//lint:allow hotalloc kernel-drain recursion closure; a kernel-boundary event, not steady state
 func (s *System) waitStoreGates(i int, done func()) {
 	if i >= len(s.SMs) {
 		done()
@@ -374,6 +381,7 @@ func (s *System) waitStoreGates(i int, done func()) {
 	s.SMs[i].sysHomeGate.Wait(func() { s.waitStoreGates(i+1, done) })
 }
 
+//lint:allow hotalloc kernel-drain recursion closure; a kernel-boundary event, not steady state
 func (s *System) waitInvGates(i int, done func()) {
 	if i >= len(s.GPMs) {
 		done()

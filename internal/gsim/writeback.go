@@ -45,6 +45,8 @@ func (s *System) tryWriteBackHit(g topo.GPMID, line topo.Line, word uint16, val 
 // flushDirtySlice writes every dirty line of one GPM's L2 slice back to
 // its home hierarchy, charging the given SM's store gates. It returns
 // the number of lines flushed.
+//
+//lint:allow hotalloc flush continuation; release/kernel-boundary work, not steady state
 func (s *System) flushDirtySlice(g topo.GPMID, sm *SM) int {
 	//lint:allow eventemit FlushDirty only clears dirty bits; each flushed line's home-side events are emitted by the scheduled wbAtGPUHomeL2/wbAtSysHomeL2 continuations
 	return s.gpmOf(g).L2.FlushDirty(func(e cache.Entry) {
@@ -67,6 +69,8 @@ func (s *System) flushAllDirty() {
 // writeBackLine sends one dirty line toward its home nodes. Routing
 // follows the store path (GPU home, then system home, under hierarchical
 // policies); the line's data is carried whole.
+//
+//lint:allow hotalloc write-back data snapshot and per-hop continuations; budget gated by the hmgperf allocs/event baseline
 func (s *System) writeBackLine(g topo.GPMID, sm *SM, line topo.Line, data fillData) {
 	sm.gpuHomeGate.Start()
 	sm.sysHomeGate.Start()
@@ -114,6 +118,8 @@ func (s *System) wbAtGPUHome(h, fromGPM topo.GPMID, line topo.Line, data fillDat
 
 // wbAtGPUHomeL2 is the GPU-home continuation of a writeback one L2
 // latency after arrival.
+//
+//lint:allow hotalloc write-back forward continuation; budget gated by the hmgperf allocs/event baseline
 func (s *System) wbAtGPUHomeL2(h, fromGPM topo.GPMID, line topo.Line, data fillData, onGPU, onSys func()) {
 	gpm := s.gpmOf(h)
 	sysHome := s.Pages.SysHome(line)

@@ -40,10 +40,10 @@ var determinismPackages = map[string]bool{
 // seededRandConstructors are math/rand functions that build explicitly
 // seeded generators rather than reading process-global state.
 var seededRandConstructors = map[string]bool{
-	"New":       true,
-	"NewSource": true,
-	"NewZipf":   true,
-	"NewPCG":    true,
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
 	"NewChaCha8": true,
 }
 

@@ -1,11 +1,18 @@
-// Mutability facts: for every function in a package, does calling it
-// possibly mutate state reachable from its receiver or arguments?
+// Cross-package facts. Three fact kinds are computed for every
+// in-module package and shared across the import graph: standalone
+// mode keeps them in memory while walking `go list -deps` order;
+// vettool mode serializes them to the facts files go vet threads
+// between compilations.
 //
-// The facts feed the readonlyhooks analyzer (observer code must not
-// call anything whose fact is "mutates") and are shared across
-// packages: standalone mode keeps them in memory while walking the
-// import graph in dependency order; vettool mode serializes them to
-// the facts files go vet threads between compilations.
+//   - Mutates (this file): for every function, does calling it
+//     possibly mutate state reachable from its receiver or arguments?
+//     Feeds the readonlyhooks analyzer.
+//   - Fns (hotalloc.go): per-function allocation sites and static
+//     in-module callees. Feeds the hotalloc analyzer's hot-path
+//     reachability walk.
+//   - Arms (speccover.go): per-DirCtrl-method directory-mutation
+//     capabilities. Feeds the speccover analyzer's rule↔arm
+//     cross-check from the spec package.
 //
 // The analysis is a deliberately simple intra-procedural taint pass:
 //
@@ -37,23 +44,59 @@ import (
 	"go/types"
 )
 
-// FactSet maps types.Func FullNames to "may mutate receiver/argument
-// state".
-type FactSet map[string]bool
+// FactSet carries every fact kind the suite shares across packages.
+// The exported field names are the vetx JSON schema go vet threads
+// between compilation units.
+type FactSet struct {
+	// Mutates maps types.Func FullNames to "may mutate
+	// receiver/argument state".
+	Mutates map[string]bool
+	// Fns maps types.Func FullNames to their allocation/call-graph
+	// fact (hotalloc.go).
+	Fns map[string]*FnFact
+	// Arms maps types.Func FullNames of proto.DirCtrl methods to their
+	// directory-mutation capabilities (speccover.go).
+	Arms map[string]ArmFact
+}
 
-// merge folds src into fs.
-func (fs FactSet) merge(src FactSet) {
-	for k, v := range src {
-		if v {
-			fs[k] = true
-		}
+// NewFactSet returns an empty, writable fact set.
+func NewFactSet() FactSet {
+	return FactSet{
+		Mutates: map[string]bool{},
+		Fns:     map[string]*FnFact{},
+		Arms:    map[string]ArmFact{},
 	}
 }
 
-// computeFacts derives the mutability facts for one package, given the
-// already-merged facts of its dependencies. The returned set contains
-// entries for this package's functions only.
+// merge folds src into fs. fs must come from NewFactSet; src may be a
+// zero value (e.g. an unmarshalled empty vetx file).
+func (fs FactSet) merge(src FactSet) {
+	for k, v := range src.Mutates {
+		if v {
+			fs.Mutates[k] = true
+		}
+	}
+	for k, v := range src.Fns {
+		fs.Fns[k] = v
+	}
+	for k, v := range src.Arms {
+		fs.Arms[k] = v
+	}
+}
+
+// computeFacts derives every fact kind for one package, given the
+// already-merged facts of its dependencies in pass.Facts. The returned
+// set contains entries for this package's functions only.
 func computeFacts(pass *Pass) FactSet {
+	out := NewFactSet()
+	computeMutates(pass, out.Mutates)
+	computeAllocFacts(pass, out.Fns)
+	computeArmFacts(pass, out.Arms)
+	return out
+}
+
+// computeMutates derives the mutability facts for one package.
+func computeMutates(pass *Pass, local map[string]bool) {
 	decls := map[*types.Func]*ast.FuncDecl{}
 	for _, f := range pass.Files {
 		for _, d := range f.Decls {
@@ -66,7 +109,6 @@ func computeFacts(pass *Pass) FactSet {
 			}
 		}
 	}
-	local := FactSet{}
 	for changed := true; changed; {
 		changed = false
 		for fn, fd := range decls {
@@ -80,12 +122,11 @@ func computeFacts(pass *Pass) FactSet {
 			}
 		}
 	}
-	return local
 }
 
 // declMutates reports whether one function body contains a mutation of
 // tainted (caller-reachable) state, under the current fact estimates.
-func declMutates(pass *Pass, fd *ast.FuncDecl, local FactSet) bool {
+func declMutates(pass *Pass, fd *ast.FuncDecl, local map[string]bool) bool {
 	taint := taintedObjects(pass, fd)
 	found := false
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -257,7 +298,7 @@ func writeTarget(pass *Pass, e ast.Expr) (root *ast.Ident, real bool) {
 // callMutates reports whether a call expression mutates tainted state:
 // delete/clear builtins on tainted operands, or calls to functions
 // whose fact says they mutate, passed a tainted receiver or argument.
-func callMutates(pass *Pass, call *ast.CallExpr, taint map[types.Object]bool, local FactSet) bool {
+func callMutates(pass *Pass, call *ast.CallExpr, taint map[types.Object]bool, local map[string]bool) bool {
 	touchesTaint := func(e ast.Expr) bool {
 		hit := false
 		ast.Inspect(e, func(n ast.Node) bool {
@@ -283,7 +324,7 @@ func callMutates(pass *Pass, call *ast.CallExpr, taint map[types.Object]bool, lo
 	if fn == nil {
 		return false
 	}
-	mutates := local[fn.FullName()] || pass.Facts[fn.FullName()]
+	mutates := local[fn.FullName()] || pass.Facts.Mutates[fn.FullName()]
 	if !mutates {
 		return false
 	}

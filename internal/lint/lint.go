@@ -9,7 +9,7 @@
 // become available, each Analyzer converts mechanically: Run already
 // receives a Pass with Fset/Files/Pkg/Info and returns diagnostics.
 //
-// Four analyzers ship (see their files for the bug class each kills):
+// Six analyzers ship (see their files for the bug class each kills):
 //
 //   - determinism (determinism.go): no map-order iteration, wall-clock
 //     reads, unseeded randomness, or goroutine spawns in simulator
@@ -20,13 +20,22 @@
 //     every value or fail loudly in a default.
 //   - readonlyhooks (readonlyhooks.go): checker/observer code is
 //     provably inert — it never calls a mutating simulator API.
+//   - hotalloc (hotalloc.go): no allocation is reachable from the
+//     steady-state hot path (engine.Run / Handler.Handle), via an
+//     interprocedural may-allocate fact.
+//   - speccover (speccover.go): every guarded internal/proto/spec rule
+//     maps to a capable DirCtrl arm and every state-mutating arm is
+//     justified by some rule.
 //
 // Findings are suppressed site-by-site with a directive comment:
 //
 //	//lint:allow <analyzer> <reason>
 //
-// placed on the flagged line or the line above it. The reason is
-// mandatory; a bare allow is itself a diagnostic.
+// placed on the flagged line or the line above it; for hotalloc and
+// speccover a directive on (or directly above) a function declaration
+// covers the whole body. The reason is mandatory; a bare allow is
+// itself a diagnostic, and so is an allow that no longer suppresses
+// anything.
 package lint
 
 import (
@@ -57,11 +66,47 @@ type Pass struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
-	// Facts maps function FullNames (for every dependency package and
-	// this one) to their mutability fact: true means calling the
-	// function may mutate state reachable from its receiver or
-	// arguments. See facts.go.
+	// Facts carries the cross-package facts (for every dependency
+	// package and this one). See facts.go.
 	Facts FactSet
+
+	// Directive state, shared between fact computation and analyzer
+	// runs so a directive consumed at fact time (hotalloc/speccover
+	// body-level allows) still counts as used. Lazily built by
+	// directives().
+	dirs     []allowDirective
+	dirDiags []Diagnostic
+	dirsDone bool
+	usedDirs map[string]bool // "file:line" of directives used at fact time
+}
+
+// directives parses (once) and returns the package's allow directives;
+// malformed ones are buffered as diagnostics for runAnalyzers.
+func (p *Pass) directives() []allowDirective {
+	if !p.dirsDone {
+		p.dirs, p.dirDiags = parseDirectives(p)
+		p.usedDirs = map[string]bool{}
+		p.dirsDone = true
+	}
+	return p.dirs
+}
+
+// allowedAt reports whether an allow directive for the analyzer covers
+// any of the given lines of file (directive on the line itself or the
+// line above). A match marks the directive as used.
+func (p *Pass) allowedAt(analyzer, file string, lines ...int) bool {
+	for _, dir := range p.directives() {
+		if dir.analyzer != analyzer || dir.file != file {
+			continue
+		}
+		for _, ln := range lines {
+			if dir.line == ln || dir.line+1 == ln {
+				p.usedDirs[fmt.Sprintf("%s:%d", dir.file, dir.line)] = true
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Diagnostic is one finding.
@@ -92,7 +137,9 @@ func Analyzers() []*Analyzer {
 		AnalyzerDeterminism,
 		AnalyzerEventEmit,
 		AnalyzerExhaustive,
+		AnalyzerHotAlloc,
 		AnalyzerReadonlyHooks,
+		AnalyzerSpecCover,
 	}
 }
 
@@ -190,18 +237,20 @@ func parseDirectives(pass *Pass) (dirs []allowDirective, diags []Diagnostic) {
 
 // applyDirectives filters findings covered by an allow on the same line
 // or the line directly above (so a standalone directive comment guards
-// the statement beneath it).
-func applyDirectives(diags []Diagnostic, dirs []allowDirective) []Diagnostic {
+// the statement beneath it). used records, by index into dirs, every
+// directive that suppressed at least one finding.
+func applyDirectives(diags []Diagnostic, dirs []allowDirective, used []bool) []Diagnostic {
 	if len(dirs) == 0 {
 		return diags
 	}
 	var kept []Diagnostic
 	for _, d := range diags {
 		suppressed := false
-		for _, dir := range dirs {
+		for i, dir := range dirs {
 			if dir.analyzer == d.Analyzer && dir.file == d.Position.Filename &&
 				(dir.line == d.Position.Line || dir.line+1 == d.Position.Line) {
 				suppressed = true
+				used[i] = true
 				break
 			}
 		}
@@ -215,11 +264,31 @@ func applyDirectives(diags []Diagnostic, dirs []allowDirective) []Diagnostic {
 // runAnalyzers executes the selected suite on one loaded package and
 // returns the post-suppression findings sorted by position.
 func runAnalyzers(pass *Pass, enabled []*Analyzer) []Diagnostic {
-	dirs, diags := parseDirectives(pass)
+	dirs := pass.directives()
+	diags := append([]Diagnostic(nil), pass.dirDiags...)
 	for _, a := range enabled {
 		diags = append(diags, a.Run(pass)...)
 	}
-	diags = applyDirectives(diags, dirs)
+	used := make([]bool, len(dirs))
+	diags = applyDirectives(diags, dirs, used)
+	// Self-check: an allow that suppresses nothing — neither a finding
+	// here nor a fact-time site — is stale and must be removed. Only
+	// directives for currently-enabled analyzers are judged, so a
+	// partial -analyzers run does not flag the other passes' allows.
+	enabledNames := map[string]bool{}
+	for _, a := range enabled {
+		enabledNames[a.Name] = true
+	}
+	for i, dir := range dirs {
+		if !enabledNames[dir.analyzer] || used[i] {
+			continue
+		}
+		if pass.usedDirs[fmt.Sprintf("%s:%d", dir.file, dir.line)] {
+			continue
+		}
+		pass.report(&diags, "lint", dir.pos,
+			"//lint:allow %s suppresses nothing; the analyzer no longer reports at this site", dir.analyzer)
+	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Position, diags[j].Position
 		if a.Filename != b.Filename {

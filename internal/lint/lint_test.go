@@ -153,6 +153,22 @@ func TestReadonlyHooksFixture(t *testing.T) {
 	checkWants(t, diags, root)
 }
 
+// TestHotAllocFixture exercises the interprocedural reachability pass:
+// wants live in both fixture packages because Handle-rooted findings
+// cross the package boundary through the FnFact call graph.
+func TestHotAllocFixture(t *testing.T) {
+	diags, root := loadFixture(t, "hotalloc", "hotalloc")
+	checkWants(t, diags, root)
+}
+
+// TestSpecCoverFixture exercises both directions of the spec↔arm
+// cross-check: the dead rule is reported in the spec package, the
+// silent Rogue arm in the proto package.
+func TestSpecCoverFixture(t *testing.T) {
+	diags, root := loadFixture(t, "speccover", "speccover")
+	checkWants(t, diags, root)
+}
+
 // TestDirectiveValidation: malformed directives are findings and do
 // not suppress; a well-formed directive does. (Assertions are explicit
 // because a want comment cannot share a line with the directive under

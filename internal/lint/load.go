@@ -82,8 +82,11 @@ func Run(dir string, patterns []string, enabled []*Analyzer) ([]Diagnostic, erro
 	}
 	imp := importer.ForCompiler(fset, "gc", lookup)
 
-	facts := FactSet{}
+	facts := NewFactSet()
 	var diags []Diagnostic
+	// Interprocedural passes (hotalloc) may report the same
+	// cross-package site from several analyzed packages; keep one.
+	seen := map[string]bool{}
 	// go list -deps emits dependencies before dependents, so walking in
 	// order guarantees a package's facts are ready before its importers.
 	for _, p := range pkgs {
@@ -99,7 +102,14 @@ func Run(dir string, patterns []string, enabled []*Analyzer) ([]Diagnostic, erro
 		}
 		facts.merge(computeFacts(pass))
 		if !p.DepOnly {
-			diags = append(diags, runAnalyzers(pass, enabled)...)
+			for _, d := range runAnalyzers(pass, enabled) {
+				key := d.Analyzer + "\x00" + d.Position.String() + "\x00" + d.Message
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				diags = append(diags, d)
+			}
 		}
 	}
 	return diags, nil

@@ -1,0 +1,432 @@
+// The speccover analyzer: the machine-readable Table I
+// (internal/proto/spec) and its implementation (proto.DirCtrl) must
+// cover each other. The runtime differ (spec.Diff) catches divergence
+// on the randomized sequences it happens to generate; this pass is
+// its static complement — a dropped rule or an unjustified transition
+// arm is rejected at compile time, before any sequence runs.
+//
+// Two halves, stitched through a cross-package fact:
+//
+//   - In the package named proto, every method on the type DirCtrl
+//     gets an ArmFact recording its directory-mutation capabilities:
+//     does the body assign a Sharers field, call Drop, call Ensure,
+//     call TargetsOf? (facts.go / computeArmFacts.)
+//   - In the package named spec, every composite literal of the Rule
+//     struct with constant fields is checked both ways against those
+//     facts:
+//
+//     Forward (no dead rules): a rule whose update/invalidation
+//     columns require work — AddRequester/OnlyRequester need a sharer
+//     assignment, ClearSharers needs a Drop (except ReplaceEntry,
+//     where the directory's own eviction performs the V→I),
+//     InvOthers/InvAll need a TargetsOf fan-out, I→V needs an Ensure
+//     — must bind to a DirCtrl arm with those capabilities.
+//
+//     Reverse (no silent transitions): every DirCtrl arm with
+//     capabilities must be justified by some rule of its event. An
+//     arm bound to no event (or with a capability no rule of its
+//     event licenses) is exactly the "silent transition" class PR 3
+//     found dynamically.
+//
+// Event→arm binding is by method name: LocalSt→LocalStore,
+// RemoteLd→RemoteLoad, RemoteSt→RemoteStore, ReplaceEntry→evictTargets,
+// Invalidation→Invalidation; LocalLd is inert (loads by the home GPM
+// touch no directory state). Spec enum values are resolved by constant
+// name from the spec package's own scope, so the pass tracks the
+// encoding, not hard-coded iota positions.
+//
+// Suppression: `//lint:allow speccover <reason>` on (or directly
+// above) a DirCtrl method declaration marks the arm as deliberately
+// outside Table I — the one trunk example is DropSharer, the optional
+// downgrade optimization the paper discusses outside the table.
+
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// AnalyzerSpecCover cross-checks spec rules against DirCtrl arms.
+var AnalyzerSpecCover = &Analyzer{
+	Name: "speccover",
+	Doc: "every guarded Table I spec rule must map to a capable DirCtrl arm " +
+		"and every state-mutating arm must be justified by a rule",
+	Run: runSpecCover,
+}
+
+// ArmFact records one DirCtrl method's directory-mutation
+// capabilities for the speccover analyzer.
+type ArmFact struct {
+	// Name is the bare method name ("RemoteStore").
+	Name string
+	// Pos is the "file:line:col" of the method declaration.
+	Pos string
+	// AssignsSharers: the body assigns a .Sharers field.
+	AssignsSharers bool
+	// CallsDrop: the body calls a method named Drop (the V→I entry
+	// removal).
+	CallsDrop bool
+	// CallsEnsure: the body calls a method named Ensure (the I→V entry
+	// allocation).
+	CallsEnsure bool
+	// CallsTargetsOf: the body expands a sharer set into invalidation
+	// targets via TargetsOf.
+	CallsTargetsOf bool
+	// Allowed: the declaration carries //lint:allow speccover.
+	Allowed bool
+}
+
+// computeArmFacts fills arms with the capabilities of this package's
+// DirCtrl methods. Only packages named proto can contribute.
+func computeArmFacts(pass *Pass, arms map[string]ArmFact) {
+	if pass.Pkg.Name() != "proto" {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			named := recvNamed(fn)
+			if named == nil || named.Obj().Name() != "DirCtrl" {
+				continue
+			}
+			pos := pass.Fset.Position(fd.Pos())
+			fact := ArmFact{
+				Name:    fn.Name(),
+				Pos:     pos.String(),
+				Allowed: pass.allowedAt("speccover", pos.Filename, pos.Line),
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok && sel.Sel.Name == "Sharers" {
+							fact.AssignsSharers = true
+						}
+					}
+				case *ast.CallExpr:
+					if callee := callee(pass.Info, n); callee != nil {
+						switch callee.Name() {
+						case "Drop":
+							fact.CallsDrop = true
+						case "Ensure":
+							fact.CallsEnsure = true
+						case "TargetsOf":
+							fact.CallsTargetsOf = true
+						}
+					}
+				}
+				return true
+			})
+			arms[fn.FullName()] = fact
+		}
+	}
+}
+
+// caps is the capability vector a rule requires or an arm provides.
+type caps struct {
+	assign, drop, targets, ensure bool
+}
+
+func (c caps) String() string {
+	var parts []string
+	if c.assign {
+		parts = append(parts, "assign the sharer set")
+	}
+	if c.drop {
+		parts = append(parts, "drop the entry")
+	}
+	if c.targets {
+		parts = append(parts, "expand invalidation targets")
+	}
+	if c.ensure {
+		parts = append(parts, "allocate the entry")
+	}
+	if len(parts) == 0 {
+		return "nothing"
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out += ", " + p
+	}
+	return out
+}
+
+// specEnums are the constant names speccover resolves from the spec
+// package scope, keyed by enum kind.
+type specEnums struct {
+	states  map[int64]string // StateI, StateV
+	events  map[int64]string // LocalLd..Invalidation
+	updates map[string]int64 // KeepSharers..ClearSharers
+	invs    map[string]int64 // InvNone..InvAll
+}
+
+// eventArm binds a spec event name to the DirCtrl method implementing
+// it; "" marks an inert event with no directory-side work.
+var eventArm = map[string]string{
+	"LocalLd":      "",
+	"LocalSt":      "LocalStore",
+	"RemoteLd":     "RemoteLoad",
+	"RemoteSt":     "RemoteStore",
+	"ReplaceEntry": "evictTargets",
+	"Invalidation": "Invalidation",
+}
+
+func runSpecCover(pass *Pass) []Diagnostic {
+	if pass.Pkg.Name() != "spec" {
+		return nil
+	}
+	ruleObj := pass.Pkg.Scope().Lookup("Rule")
+	if ruleObj == nil {
+		return nil
+	}
+	ruleType, ok := ruleObj.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	ruleStruct, ok := ruleType.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	enums, ok := resolveSpecEnums(pass)
+	if !ok {
+		return nil
+	}
+
+	// Arms by bare method name, from the proto facts.
+	armsByName := map[string]ArmFact{}
+	for _, a := range pass.Facts.Arms {
+		armsByName[a.Name] = a
+	}
+	if len(armsByName) == 0 {
+		return nil
+	}
+
+	type rule struct {
+		lit    *ast.CompositeLit
+		fields map[string]int64
+	}
+	var rules []rule
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			t := pass.Info.TypeOf(lit)
+			if t == nil || !types.Identical(t, ruleType) {
+				return true
+			}
+			fields, ok := constRuleFields(pass, lit, ruleStruct)
+			if !ok {
+				return true // dynamically-built rule: out of static scope
+			}
+			rules = append(rules, rule{lit, fields})
+			return true
+		})
+	}
+
+	need := func(fields map[string]int64) caps {
+		var c caps
+		upd, inv := fields["Update"], fields["Inv"]
+		c.assign = upd == enums.updates["AddRequester"] || upd == enums.updates["OnlyRequester"]
+		c.drop = upd == enums.updates["ClearSharers"] &&
+			enums.events[fields["Event"]] != "ReplaceEntry"
+		c.targets = inv != enums.invs["InvNone"]
+		c.ensure = enums.states[fields["State"]] == "I" && enums.states[fields["Next"]] == "V"
+		return c
+	}
+
+	var diags []Diagnostic
+
+	// Forward: every rule that requires work binds to a capable arm.
+	licensed := map[string]caps{} // event name → union of rule needs
+	for _, r := range rules {
+		evName, ok := enums.events[r.fields["Event"]]
+		if !ok {
+			continue
+		}
+		n := need(r.fields)
+		lic := licensed[evName]
+		lic.assign = lic.assign || n.assign
+		lic.drop = lic.drop || n.drop
+		lic.targets = lic.targets || n.targets
+		lic.ensure = lic.ensure || n.ensure
+		licensed[evName] = lic
+
+		if n == (caps{}) {
+			continue
+		}
+		cell := fmt.Sprintf("%s×%s", enums.states[r.fields["State"]], evName)
+		armName, bound := eventArm[evName]
+		if !bound || armName == "" {
+			pass.report(&diags, "speccover", r.lit.Pos(),
+				"spec rule %s requires an implementation arm (%s) but event %s has none",
+				cell, n, evName)
+			continue
+		}
+		arm, ok := armsByName[armName]
+		if !ok {
+			pass.report(&diags, "speccover", r.lit.Pos(),
+				"spec rule %s binds to DirCtrl.%s, which does not exist", cell, armName)
+			continue
+		}
+		missing := caps{
+			assign:  n.assign && !arm.AssignsSharers,
+			drop:    n.drop && !arm.CallsDrop,
+			targets: n.targets && !arm.CallsTargetsOf,
+			ensure:  n.ensure && !arm.CallsEnsure,
+		}
+		if missing != (caps{}) {
+			pass.report(&diags, "speccover", r.lit.Pos(),
+				"spec rule %s expects DirCtrl.%s to %s, but it does not", cell, armName, missing)
+		}
+	}
+
+	// Reverse: every arm capability is licensed by some rule of its
+	// event.
+	armEvent := map[string]string{} // method name → event name
+	for ev, arm := range eventArm {
+		if arm != "" {
+			armEvent[arm] = ev
+		}
+	}
+	for _, arm := range armsByName {
+		if arm.Allowed {
+			continue
+		}
+		has := caps{
+			assign:  arm.AssignsSharers,
+			drop:    arm.CallsDrop,
+			targets: arm.CallsTargetsOf,
+			ensure:  arm.CallsEnsure,
+		}
+		if has == (caps{}) {
+			continue
+		}
+		ev, bound := armEvent[arm.Name]
+		if !bound {
+			diags = append(diags, Diagnostic{
+				Position: parsePosition(arm.Pos),
+				Analyzer: "speccover",
+				Message: fmt.Sprintf("DirCtrl.%s mutates directory state (%s) but is bound to no "+
+					"Table I event; add a spec rule or //lint:allow speccover", arm.Name, has),
+			})
+			continue
+		}
+		lic := licensed[ev]
+		unlicensed := caps{
+			assign:  has.assign && !lic.assign,
+			drop:    has.drop && !lic.drop,
+			targets: has.targets && !lic.targets,
+			ensure:  has.ensure && !lic.ensure,
+		}
+		if unlicensed != (caps{}) {
+			diags = append(diags, Diagnostic{
+				Position: parsePosition(arm.Pos),
+				Analyzer: "speccover",
+				Message: fmt.Sprintf("DirCtrl.%s can %s, but no %s spec rule licenses it "+
+					"(silent transition)", arm.Name, unlicensed, ev),
+			})
+		}
+	}
+	return diags
+}
+
+// resolveSpecEnums maps the spec package's enum constants by name. A
+// package missing any of the names is not a Table I spec encoding and
+// is skipped.
+func resolveSpecEnums(pass *Pass) (specEnums, bool) {
+	e := specEnums{
+		states:  map[int64]string{},
+		events:  map[int64]string{},
+		updates: map[string]int64{},
+		invs:    map[string]int64{},
+	}
+	val := func(name string) (int64, bool) {
+		c, ok := pass.Pkg.Scope().Lookup(name).(*types.Const)
+		if !ok {
+			return 0, false
+		}
+		v, ok := constant.Int64Val(c.Val())
+		return v, ok
+	}
+	for name, short := range map[string]string{"StateI": "I", "StateV": "V"} {
+		v, ok := val(name)
+		if !ok {
+			return e, false
+		}
+		e.states[v] = short
+	}
+	for ev := range eventArm {
+		v, ok := val(ev)
+		if !ok {
+			return e, false
+		}
+		e.events[v] = ev
+	}
+	for _, name := range []string{"KeepSharers", "AddRequester", "OnlyRequester", "ClearSharers"} {
+		v, ok := val(name)
+		if !ok {
+			return e, false
+		}
+		e.updates[name] = v
+	}
+	for _, name := range []string{"InvNone", "InvOthers", "InvAll"} {
+		v, ok := val(name)
+		if !ok {
+			return e, false
+		}
+		e.invs[name] = v
+	}
+	return e, true
+}
+
+// constRuleFields extracts a Rule literal's fields as constant values;
+// omitted fields are zero. It fails if any present field is
+// non-constant.
+func constRuleFields(pass *Pass, lit *ast.CompositeLit, st *types.Struct) (map[string]int64, bool) {
+	fields := map[string]int64{}
+	for i := 0; i < st.NumFields(); i++ {
+		fields[st.Field(i).Name()] = 0
+	}
+	constVal := func(e ast.Expr) (int64, bool) {
+		tv, ok := pass.Info.Types[e]
+		if !ok || tv.Value == nil {
+			return 0, false
+		}
+		return constant.Int64Val(tv.Value)
+	}
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				return nil, false
+			}
+			v, ok := constVal(kv.Value)
+			if !ok {
+				return nil, false
+			}
+			fields[key.Name] = v
+			continue
+		}
+		if i >= st.NumFields() {
+			return nil, false
+		}
+		v, ok := constVal(elt)
+		if !ok {
+			return nil, false
+		}
+		fields[st.Field(i).Name()] = v
+	}
+	return fields, true
+}

@@ -1,0 +1,59 @@
+// The event-loop half of the hotalloc fixture: the Run root, the
+// Handler interface pooled contexts schedule through (with a
+// decl-level allow on its amortized append), an allocating helper
+// reachable from Run, an exported allocating function reachable only
+// from gsim's Handle bodies, and a cold function whose allocations
+// are not findings.
+package engine
+
+import "strconv"
+
+// Handler is the allocation-free scheduling interface; pointer-shaped
+// implementations box into it without allocating.
+type Handler interface{ Handle() }
+
+type event struct {
+	at uint64
+	h  Handler
+}
+
+// Engine is the fixture event loop.
+type Engine struct {
+	now  uint64
+	heap []event
+}
+
+// ScheduleHandler enqueues h. The append is the sanctioned amortized
+// growth site, excluded wholesale by the decl-level allow.
+//
+//lint:allow hotalloc amortized queue growth; steady state reuses the backing array
+func (e *Engine) ScheduleHandler(lat uint64, h Handler) {
+	e.heap = append(e.heap, event{at: e.now + lat, h: h})
+}
+
+// Run is the hot-path root: it drains the queue.
+func (e *Engine) Run() {
+	for len(e.heap) > 0 {
+		ev := e.heap[len(e.heap)-1]
+		e.heap = e.heap[:len(e.heap)-1]
+		e.now = ev.at
+		_ = e.trace()
+		ev.h.Handle()
+	}
+}
+
+// trace is reachable from Run, so its formatting call is a finding.
+func (e *Engine) trace() string {
+	return strconv.FormatUint(e.now, 10) // want `call to strconv\.FormatUint allocates in \(\*engine\.Engine\)\.trace, reachable from hot path root engine\.Run event loop`
+}
+
+// Describe renders an event label. It is reachable only from gsim's
+// Handle bodies, so the finding is attributed to that root.
+func Describe(tag string) string {
+	return "event:" + tag // want `string concatenation allocates in engine\.Describe, reachable from hot path root opCtx\.Handle`
+}
+
+// Report is cold: no root reaches it, so its allocations are clean.
+func Report() []string {
+	return []string{"summary"}
+}

@@ -1,0 +1,60 @@
+// The handler half of the hotalloc fixture: a pooled opCtx whose
+// niladic Handle method is a hot-path root, one clean scheduling arm
+// (pointer into interface boxes for free), and arms that allocate in
+// every way the analyzer models — closure, append, map literal,
+// interface boxing, &composite through a call edge, and an allocating
+// call into another fixture package. panic arguments are exempt.
+package gsim
+
+import "fixture/engine"
+
+// fillData mirrors the simulator's sparse response payload.
+type fillData map[uint16]uint64
+
+type entry struct{ data fillData }
+
+type stat struct{ n int }
+
+// opCtx is the pooled continuation context.
+type opCtx struct {
+	eng   *engine.Engine
+	stage int
+	line  uint64
+	label string
+	last  *entry
+	free  []*opCtx
+	vals  []uint64
+}
+
+// Handle dispatches on the stage tag; every arm is steady-state code.
+func (c *opCtx) Handle() {
+	switch c.stage {
+	case 0:
+		// A *opCtx is pointer-shaped: scheduling it through the Handler
+		// interface boxes without allocating. No finding.
+		c.eng.ScheduleHandler(1, c)
+		//lint:allow hotalloc pool free-list append; growth is amortized across the run
+		c.free = append(c.free, c)
+	case 1:
+		n := c.line
+		retry := func() { c.line = n + 1 } // want `function literal allocates a closure in \(\*gsim\.opCtx\)\.Handle, reachable from hot path root opCtx\.Handle`
+		retry()
+		c.vals = append(c.vals, n) // want `append may grow its backing array in \(\*gsim\.opCtx\)\.Handle, reachable from hot path root opCtx\.Handle`
+	case 2:
+		c.label = engine.Describe("evict")
+		c.fill(fillData{}) // want `map literal allocates in \(\*gsim\.opCtx\)\.Handle, reachable from hot path root opCtx\.Handle`
+		c.log(stat{n: 1})  // want `argument boxes fixture/gsim\.stat into interface parameter of log in \(\*gsim\.opCtx\)\.Handle, reachable from hot path root opCtx\.Handle`
+	default:
+		// Exempt: a panicking path has left the steady state.
+		panic("opCtx: bad stage " + c.label)
+	}
+}
+
+// fill installs a response entry; it is reached from Handle through
+// the call graph, so its allocation is still a finding.
+func (c *opCtx) fill(d fillData) {
+	c.last = &entry{data: d} // want `&composite literal escapes to the heap in \(\*gsim\.opCtx\)\.fill, reachable from hot path root opCtx\.Handle`
+}
+
+// log sinks a value through an interface parameter.
+func (c *opCtx) log(v interface{}) { _ = v }

@@ -1,0 +1,117 @@
+// The implementation half of the speccover fixture: a DirCtrl with
+// one capable arm per Table I event, one arm outside the table
+// carrying the sanctioned allow (DropSharer), and one silent arm
+// (Rogue) bound to no event.
+package proto
+
+type Line uint64
+
+type Requester int
+
+func (r Requester) Bit() uint64 { return 1 << uint(r) }
+
+// Entry is one directory entry.
+type Entry struct {
+	Sharers uint64
+}
+
+// Dir is the minimal tracked directory.
+type Dir struct {
+	m map[Line]*Entry
+}
+
+// Ensure materializes the entry for l (the I→V allocation).
+func (d *Dir) Ensure(l Line) *Entry {
+	if d.m == nil {
+		d.m = map[Line]*Entry{}
+	}
+	if e, ok := d.m[l]; ok {
+		return e
+	}
+	e := &Entry{}
+	d.m[l] = e
+	return e
+}
+
+// Drop removes the entry for l (the V→I removal).
+func (d *Dir) Drop(l Line) { delete(d.m, l) }
+
+// Lookup finds the entry for l without side effects.
+func (d *Dir) Lookup(l Line) (*Entry, bool) {
+	e, ok := d.m[l]
+	return e, ok
+}
+
+// TargetsOf expands a sharer bitmap into requester ids.
+func TargetsOf(bits uint64) []Requester {
+	var out []Requester
+	for i := 0; i < 64; i++ {
+		if bits&(1<<uint(i)) != 0 {
+			out = append(out, Requester(i))
+		}
+	}
+	return out
+}
+
+// DirCtrl implements the fixture's Table I arms.
+type DirCtrl struct {
+	Dir Dir
+}
+
+// LocalStore records the home module as the only sharer.
+func (c *DirCtrl) LocalStore(l Line, r Requester) {
+	e := c.Dir.Ensure(l)
+	e.Sharers = r.Bit()
+}
+
+// RemoteLoad adds the requester to the sharer set.
+func (c *DirCtrl) RemoteLoad(l Line, r Requester) {
+	e := c.Dir.Ensure(l)
+	e.Sharers = e.Sharers | r.Bit()
+}
+
+// RemoteStore invalidates the other sharers and keeps only the
+// requester.
+func (c *DirCtrl) RemoteStore(l Line, r Requester) []Requester {
+	e := c.Dir.Ensure(l)
+	t := TargetsOf(e.Sharers &^ r.Bit())
+	e.Sharers = r.Bit()
+	return t
+}
+
+// Invalidation clears the entry and fans out to every sharer.
+func (c *DirCtrl) Invalidation(l Line) []Requester {
+	e, ok := c.Dir.Lookup(l)
+	if !ok {
+		return nil
+	}
+	t := TargetsOf(e.Sharers)
+	c.Dir.Drop(l)
+	return t
+}
+
+// evictTargets expands the sharer set of a replaced entry; the
+// directory's own eviction performs the V→I, so no Drop here.
+func (c *DirCtrl) evictTargets(l Line) []Requester {
+	e, ok := c.Dir.Lookup(l)
+	if !ok {
+		return nil
+	}
+	return TargetsOf(e.Sharers)
+}
+
+// DropSharer narrows the sharer set outside Table I.
+//
+//lint:allow speccover downgrade hint outside Table I; narrows sharer sets, never transitions state
+func (c *DirCtrl) DropSharer(l Line, r Requester) {
+	if e, ok := c.Dir.Lookup(l); ok {
+		e.Sharers = e.Sharers &^ r.Bit()
+	}
+}
+
+// Rogue rewrites sharer state with no event bound to it.
+func (c *DirCtrl) Rogue(l Line) { // want `DirCtrl\.Rogue mutates directory state \(assign the sharer set\) but is bound to no Table I event`
+	if e, ok := c.Dir.Lookup(l); ok {
+		e.Sharers = 0
+	}
+}

@@ -1,0 +1,84 @@
+// The machine-readable half of the speccover fixture: enum constants
+// under the names the analyzer resolves, a Rule table licensing every
+// capable proto arm, and one dead rule demanding a capability its arm
+// does not have.
+package spec
+
+import "fixture/proto"
+
+// State is a directory state.
+type State int
+
+const (
+	StateI State = iota
+	StateV
+)
+
+// Event is a Table I event column.
+type Event int
+
+const (
+	LocalLd Event = iota
+	LocalSt
+	RemoteLd
+	RemoteSt
+	ReplaceEntry
+	Invalidation
+)
+
+// Guard selects between rule variants of one cell.
+type Guard int
+
+const (
+	Always Guard = iota
+	RequesterIsOnlySharer
+)
+
+// Update is the sharer-set action column.
+type Update int
+
+const (
+	KeepSharers Update = iota
+	AddRequester
+	OnlyRequester
+	ClearSharers
+)
+
+// Inv is the invalidation fan-out column.
+type Inv int
+
+const (
+	InvNone Inv = iota
+	InvOthers
+	InvAll
+)
+
+// Rule is one Table I row.
+type Rule struct {
+	State  State
+	Event  Event
+	Guard  Guard
+	Next   State
+	Update Update
+	Inv    Inv
+}
+
+// ctrl pins the implementation this table describes (and the import
+// edge the facts flow along).
+var ctrl *proto.DirCtrl
+
+// Rules is the fixture Table I.
+func Rules() []Rule {
+	return []Rule{
+		{State: StateI, Event: LocalLd, Next: StateI},
+		{State: StateI, Event: LocalSt, Next: StateV, Update: OnlyRequester},
+		{State: StateI, Event: RemoteLd, Next: StateV, Update: AddRequester},
+		{State: StateI, Event: RemoteSt, Next: StateV, Update: OnlyRequester},
+		{State: StateV, Event: LocalSt, Next: StateV, Update: OnlyRequester},
+		{State: StateV, Event: RemoteLd, Next: StateV, Update: AddRequester},
+		{State: StateV, Event: RemoteSt, Next: StateV, Update: OnlyRequester, Inv: InvOthers},
+		{State: StateV, Event: ReplaceEntry, Next: StateI, Update: ClearSharers, Inv: InvAll},
+		{State: StateV, Event: Invalidation, Next: StateI, Update: ClearSharers, Inv: InvAll},
+		{State: StateV, Event: RemoteLd, Guard: RequesterIsOnlySharer, Update: ClearSharers}, // want `spec rule V×RemoteLd expects DirCtrl\.RemoteLoad to drop the entry, but it does not`
+	}
+}

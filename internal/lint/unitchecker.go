@@ -67,8 +67,9 @@ func Main(args []string) int {
 	fs := flag.NewFlagSet("hmglint", flag.ContinueOnError)
 	analyzers := fs.String("analyzers", "", "comma-separated analyzer selection (default: all)")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit one JSON object per finding (analyzer, position, message)")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: hmglint [-analyzers a,b] [packages]\n")
+		fmt.Fprintf(fs.Output(), "usage: hmglint [-analyzers a,b] [-json] [packages]\n")
 		fmt.Fprintf(fs.Output(), "       go vet -vettool=$(which hmglint) [packages]\n\n")
 		fs.PrintDefaults()
 	}
@@ -95,14 +96,36 @@ func Main(args []string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		// One finding per line, so CI can stream-parse annotations.
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			if err := enc.Encode(jsonFinding{
+				Analyzer: d.Analyzer,
+				Position: d.Position.String(),
+				Message:  d.Message,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "hmglint:", err)
+				return 1
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "hmglint: %d finding(s)\n", len(diags))
 		return 2
 	}
 	return 0
+}
+
+// jsonFinding is the -json output schema: one object per line.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	Position string `json:"position"`
+	Message  string `json:"message"`
 }
 
 // unitcheck analyzes one compilation unit under the vettool protocol.
@@ -145,7 +168,7 @@ func unitcheck(cfgPath string) int {
 		}
 	}
 	if cfg.Standard[cfg.ImportPath] || isGorootUnit(sources) || len(sources) == 0 {
-		if !writeVetx(FactSet{}) {
+		if !writeVetx(NewFactSet()) {
 			return 1
 		}
 		return 0
@@ -163,7 +186,7 @@ func unitcheck(cfgPath string) int {
 
 	// Dependency facts from the vetx files go vet threads through the
 	// build graph. Missing files (e.g. cached std units) mean no facts.
-	facts := FactSet{}
+	facts := NewFactSet()
 	for _, vetx := range cfg.PackageVetx {
 		b, err := os.ReadFile(vetx)
 		if err != nil {
@@ -184,7 +207,7 @@ func unitcheck(cfgPath string) int {
 	pass, err := typecheck(fset, imp, p, facts)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			if !writeVetx(FactSet{}) {
+			if !writeVetx(NewFactSet()) {
 				return 1
 			}
 			return 0

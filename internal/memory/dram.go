@@ -105,6 +105,8 @@ func (d *DRAM) LoadValue(a topo.Addr) uint64 { return d.values[wordIndex(a)] }
 // LineValues returns the tracked words of line l as line-relative word
 // index → value, for installing into cache entries on fills. Returns nil
 // when no word of the line was ever written.
+//
+//lint:allow hotalloc value-tracking snapshot map; runs only on TrackValues configurations
 func (d *DRAM) LineValues(l topo.Line) map[uint16]uint64 {
 	base := wordIndex(topo.Addr(uint64(l) * uint64(d.cfg.LineSize)))
 	words := uint64(d.cfg.LineSize / WordSize)

@@ -72,7 +72,6 @@ func (m *Model) Len() int { return len(m.entries) }
 // directory.Dir.Snapshot for side-by-side comparison.
 func (m *Model) Snapshot() []Entry {
 	out := make([]Entry, 0, len(m.entries))
-	//lint:allow determinism the map walk feeds a sort; order cannot leak
 	for r, sh := range m.entries {
 		out = append(out, Entry{Region: r, Sharers: sh})
 	}

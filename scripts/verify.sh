@@ -3,8 +3,14 @@
 # and a protocol conformance tier.
 #
 # The lint tier builds cmd/hmglint and runs the full analyzer suite
-# (determinism, eventemit, exhaustive, readonlyhooks) over the module;
-# any finding fails the script via the tool's nonzero exit.
+# (determinism, eventemit, exhaustive, hotalloc, readonlyhooks,
+# speccover) over the module, both standalone and through
+# `go vet -vettool` (the unitchecker protocol threads facts along
+# import edges, so both paths must stay green); any finding fails the
+# script via the tool's nonzero exit. The tier then proves the two
+# interprocedural analyzers have teeth: in a scratch copy of the repo,
+# an injected hot-path allocation and a dropped Table I spec rule must
+# each fail with exit 2 naming the responsible analyzer.
 #
 # The race tier runs the whole module at -short scale (the experiment
 # suites are ~10x slower under -race) plus the full experiments package,
@@ -43,6 +49,49 @@ HMGLINT_BIN="$(mktemp -d)/hmglint"
 trap 'rm -rf "$(dirname "$HMGLINT_BIN")"' EXIT
 go build -o "$HMGLINT_BIN" ./cmd/hmglint
 "$HMGLINT_BIN" ./...
+
+echo "== go vet -vettool=hmglint"
+go vet -vettool="$HMGLINT_BIN" ./...
+
+echo "== hmglint mutation self-tests (hotalloc, speccover)"
+LINT_SCRATCH="$(dirname "$HMGLINT_BIN")/scratch"
+mkdir -p "$LINT_SCRATCH"
+tar -c --exclude=.git . | tar -x -C "$LINT_SCRATCH"
+
+# An allocation on a Handle hot path must be caught by hotalloc.
+cat > "$LINT_SCRATCH/internal/gsim/zz_injected.go" <<'EOF'
+package gsim
+
+var zzSink []int
+
+type zzHog struct{}
+
+func (h *zzHog) Handle() { zzSink = append(zzSink, 1) }
+EOF
+set +e
+LINT_OUT="$(cd "$LINT_SCRATCH" && "$HMGLINT_BIN" ./... 2>&1)"
+LINT_STATUS=$?
+set -e
+if [ "$LINT_STATUS" -ne 2 ] || ! echo "$LINT_OUT" | grep -q "hotalloc"; then
+  echo "hotalloc missed an injected hot-path allocation (exit $LINT_STATUS): the analyzer has no teeth" >&2
+  echo "$LINT_OUT" >&2
+  exit 1
+fi
+rm "$LINT_SCRATCH/internal/gsim/zz_injected.go"
+
+# Dropping a Table I rule must leave its DirCtrl arm unlicensed.
+sed -i '/State: StateV, Event: Invalidation/d' "$LINT_SCRATCH/internal/proto/spec/spec.go"
+set +e
+LINT_OUT="$(cd "$LINT_SCRATCH" && "$HMGLINT_BIN" ./... 2>&1)"
+LINT_STATUS=$?
+set -e
+if [ "$LINT_STATUS" -ne 2 ] || ! echo "$LINT_OUT" | grep -q "speccover"; then
+  echo "speccover missed a dropped spec rule (exit $LINT_STATUS): the analyzer has no teeth" >&2
+  echo "$LINT_OUT" >&2
+  exit 1
+fi
+rm -rf "$LINT_SCRATCH"
+echo "hmglint: both injected violations caught (teeth OK)"
 
 echo "== go test"
 go test ./...
