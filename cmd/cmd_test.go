@@ -272,6 +272,73 @@ func TestHmgbenchJobsDeterminism(t *testing.T) {
 	}
 }
 
+// TestHmgbenchStoreFlow drives the persistent result store end to end:
+// a cold campaign populates -cachedir, a warm rerun must serve every
+// run from disk (zero simulations) with byte-identical tables, and a
+// deliberately truncated record must be re-simulated — again to
+// identical bytes — never trusted. scripts/verify.sh repeats this flow
+// at the full acceptance scale (-fig all -scale 0.25); this test keeps
+// the same contract cheap enough for the tier-1 suite.
+func TestHmgbenchStoreFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI build in -short mode")
+	}
+	bin := build(t, "cmd/hmgbench")
+	store := filepath.Join(t.TempDir(), "store")
+	campaign := func() (string, string) {
+		t.Helper()
+		cmd := exec.Command(bin, "-fig", "9", "-scale", "0.1", "-sms", "4", "-cachedir", store, "-v")
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("hmgbench -cachedir: %v\n%s", err, stderr.String())
+		}
+		return stdout.String(), stderr.String()
+	}
+
+	cold, coldLog := campaign()
+	if !strings.Contains(coldLog, "disk misses") || strings.Contains(coldLog, " 0 disk writes") {
+		t.Fatalf("cold campaign did not populate the store:\n%s", coldLog)
+	}
+	warm, warmLog := campaign()
+	if warm != cold {
+		t.Fatalf("warm tables differ from cold:\n--- cold\n%s\n--- warm\n%s", cold, warm)
+	}
+	if !strings.Contains(warmLog, "campaign: 0 unique runs") {
+		t.Fatalf("warm campaign simulated runs the store should have served:\n%s", warmLog)
+	}
+	if strings.Contains(warmLog, " 0 disk hits") || !strings.Contains(warmLog, "0 disk misses") {
+		t.Fatalf("warm campaign not fully disk-served:\n%s", warmLog)
+	}
+
+	// Damage one record: exactly that run re-simulates, and the output
+	// bytes still match the cold campaign's.
+	victims, err := filepath.Glob(filepath.Join(store, "*", "*", "*.res"))
+	if err != nil || len(victims) == 0 {
+		t.Fatalf("no store records found: %v", err)
+	}
+	fi, err := os.Stat(victims[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(victims[0], fi.Size()-1); err != nil {
+		t.Fatal(err)
+	}
+	healed, healedLog := campaign()
+	if healed != cold {
+		t.Fatalf("re-simulated tables differ from cold:\n--- cold\n%s\n--- healed\n%s", cold, healed)
+	}
+	if !strings.Contains(healedLog, "campaign: 1 unique runs") {
+		t.Fatalf("truncated record was not re-simulated (or more than one run was):\n%s", healedLog)
+	}
+
+	// -storeversion prints the stamp that scopes the store — the CI
+	// cache key.
+	if got := strings.TrimSpace(run(t, bin, "-storeversion")); got != experiments.ModelVersion() {
+		t.Fatalf("-storeversion = %q, want %q", got, experiments.ModelVersion())
+	}
+}
+
 // TestHmglintFlow drives the linter through its exit-code contract:
 // a clean module exits 0, an injected violation exits nonzero with the
 // finding on the output, and an unknown analyzer name lists the known

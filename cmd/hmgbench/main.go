@@ -7,6 +7,7 @@
 //	hmgbench -fig all               # everything (the EXPERIMENTS.md run)
 //	hmgbench -fig 12 -scale 0.5 -v  # faster sweep with progress output
 //	hmgbench -fig all -jobs 8       # prewarm runs on 8 parallel workers
+//	hmgbench -fig all -cachedir ~/.cache/hmg  # persistent result store
 //
 // Figures: 2, 3, 7, 8, 9, 10, 11, 12, 13, 14, granularity, downgrade,
 // writeback, gpmscope, scaling, toposcale, carve, locality, mca,
@@ -16,6 +17,15 @@
 // simulation is memoized by (benchmark, protocol, variant), so -jobs
 // only changes wall-clock time — table output is byte-identical at any
 // parallelism.
+//
+// -cachedir backs the memo cache with an on-disk content-addressed
+// store (internal/resstore): runs already on disk under the current
+// model version are served without simulating, so re-running a
+// campaign after a one-figure change only simulates the delta — and
+// because the simulator is deterministic, warm output is byte-identical
+// to cold. Damaged or stale records are re-simulated, never trusted.
+// -storeversion prints the model-version stamp that scopes the store
+// (CI keys its store cache on it) and exits.
 package main
 
 import (
@@ -36,9 +46,16 @@ func main() {
 	sms := flag.Int("sms", 8, "modeled SMs per GPM")
 	topoFlag := flag.String("topo", "", topo.SpecFlagUsage+" (reshapes the campaign's base machine)")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers for the campaign prewarm")
+	cachedir := flag.String("cachedir", "", "directory of the persistent content-addressed result store (empty disables the disk tier)")
+	storeVersion := flag.Bool("storeversion", false, "print the campaign store's model-version stamp and exit")
 	verbose := flag.Bool("v", false, "log each simulation run and the campaign summary")
 	format := flag.String("format", "text", "output format: text, csv, or md")
 	flag.Parse()
+
+	if *storeVersion {
+		fmt.Println(experiments.ModelVersion())
+		return
+	}
 
 	opts := experiments.DefaultOptions()
 	opts.Scale = *scale
@@ -50,6 +67,14 @@ func main() {
 		os.Exit(2)
 	}
 	opts.Topo = spec
+	if *cachedir != "" {
+		st, err := experiments.OpenStore(*cachedir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hmgbench: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Store = st
+	}
 	if *verbose {
 		opts.Log = os.Stderr
 	}
@@ -73,13 +98,7 @@ func main() {
 
 	// Prewarm the union of the selected figures' runs across the worker
 	// pool; generation below then reads the warm cache in order.
-	var plan []experiments.RunSpec
-	for _, f := range selected {
-		if f.Plan != nil {
-			plan = append(plan, f.Plan()...)
-		}
-	}
-	if err := r.Prewarm(plan); err != nil {
+	if err := r.Prewarm(experiments.PlanUnion(selected)); err != nil {
 		fmt.Fprintf(os.Stderr, "hmgbench: prewarm: %v\n", err)
 		os.Exit(1)
 	}
@@ -105,7 +124,11 @@ func main() {
 		if s.RunWall > 0 {
 			mevps = float64(s.Events) / s.RunWall.Seconds() / 1e6
 		}
-		fmt.Fprintf(os.Stderr, "campaign: %d unique runs, %d memo hits, %.1f Mcycles simulated, %.1f M events/s of run wall (%.1fs summed)\n",
-			s.UniqueRuns, s.MemoHits, float64(s.SimCycles)/1e6, mevps, s.RunWall.Seconds())
+		disk := ""
+		if *cachedir != "" {
+			disk = fmt.Sprintf(", %d disk hits, %d disk misses, %d disk writes", s.DiskHits, s.DiskMisses, s.DiskWrites)
+		}
+		fmt.Fprintf(os.Stderr, "campaign: %d unique runs, %d memo hits%s, %.1f Mcycles simulated, %.1f M events/s of run wall (%.1fs summed)\n",
+			s.UniqueRuns, s.MemoHits, disk, float64(s.SimCycles)/1e6, mevps, s.RunWall.Seconds())
 	}
 }

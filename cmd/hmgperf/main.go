@@ -17,6 +17,14 @@
 // Mevents/s) are advisory only: hmgperf warns past -wall-threshold but
 // never fails on them, so the gate stays green on slow or noisy CI
 // machines while still recording the trajectory.
+//
+// -cachedir makes the matrix store-aware: every cell still simulates
+// (the wall-clock and allocation windows cannot come from a cache), but
+// its results are cross-checked against the persistent campaign store
+// (internal/resstore) — the same store `hmgbench -cachedir` fills at
+// scale 0.25, since the key spaces coincide — failing hard if a cell's
+// cycles or events drift from the stored record, and written back so
+// perf runs warm the campaign cache as a side effect.
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"hmg/internal/experiments"
 	"hmg/internal/gsim"
 	"hmg/internal/proto"
+	"hmg/internal/resstore"
 	"hmg/internal/topo"
 	"hmg/internal/workload"
 )
@@ -97,6 +106,7 @@ func main() {
 	wallTol := flag.Float64("wall-threshold", 1.5, "ns/event ratio over baseline that triggers an advisory warning")
 	sms := flag.Int("sms", 8, "modeled SMs per GPM (must match the baseline)")
 	topoFlag := flag.String("topo", "", topo.SpecFlagUsage+" (must match the baseline)")
+	cachedir := flag.String("cachedir", "", "campaign result store to cross-check cells against and write them back to")
 	flag.Parse()
 
 	shape, err := topo.ParseSpec(*topoFlag)
@@ -104,7 +114,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hmgperf: %v\n", err)
 		os.Exit(2)
 	}
-	snap, err := runMatrix(*sms, shape)
+	var store *resstore.Store
+	if *cachedir != "" {
+		store, err = experiments.OpenStore(*cachedir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hmgperf: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	snap, err := runMatrix(*sms, shape, store)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hmgperf: %v\n", err)
 		os.Exit(2)
@@ -143,8 +161,9 @@ func main() {
 // runMatrix executes every matrix cell once and measures it. Each cell
 // isolates simulation allocations by reading memory statistics after
 // system construction and trace generation (setup) and again after the
-// run.
-func runMatrix(sms int, shape topo.Spec) (*Snapshot, error) {
+// run. With a store attached, each cell is cross-checked against and
+// written back to the campaign result store.
+func runMatrix(sms int, shape topo.Spec, store *resstore.Store) (*Snapshot, error) {
 	r, err := experiments.NewRunner(experiments.Options{Scale: matrixScale, SMsPerGPM: sms, Topo: shape})
 	if err != nil {
 		return nil, err
@@ -163,7 +182,7 @@ func runMatrix(sms int, shape topo.Spec) (*Snapshot, error) {
 			return nil, err
 		}
 		for _, kind := range matrixProtocols {
-			cell, err := runCell(r, bench, kind)
+			cell, err := runCell(r, bench, kind, store)
 			if err != nil {
 				return nil, err
 			}
@@ -176,7 +195,7 @@ func runMatrix(sms int, shape topo.Spec) (*Snapshot, error) {
 	return snap, nil
 }
 
-func runCell(r *experiments.Runner, bench workload.Params, kind proto.Kind) (Run, error) {
+func runCell(r *experiments.Runner, bench workload.Params, kind proto.Kind, store *resstore.Store) (Run, error) {
 	cfg := r.Config(kind, experiments.Variant{})
 	sys, err := gsim.New(cfg)
 	if err != nil {
@@ -213,6 +232,21 @@ func runCell(r *experiments.Runner, bench workload.Params, kind proto.Kind) (Run
 	}
 	if wall > 0 {
 		cell.MEventsPerSec = float64(res.EventsExecuted) / wall.Seconds() / 1e6
+	}
+	if store != nil {
+		// The matrix runs the campaign's own key space (zero variant,
+		// base shape), so a stored record — written by hmgbench or a
+		// previous hmgperf — must agree exactly with this fresh run.
+		k := r.StoreKey(bench, kind, experiments.Variant{}, topo.Spec{})
+		if prev, ok := store.Get(k); ok {
+			if uint64(prev.Cycles) != cell.Cycles || prev.EventsExecuted != cell.Events {
+				return Run{}, fmt.Errorf("%s/%v: fresh run (%d cycles, %d events) disagrees with store record %s (%d cycles, %d events) — determinism broke or the model-version stamp is stale",
+					cell.Bench, kind, cell.Cycles, cell.Events, k, prev.Cycles, prev.EventsExecuted)
+			}
+		}
+		if err := store.Put(k, res); err != nil {
+			return Run{}, err
+		}
 	}
 	return cell, nil
 }

@@ -59,6 +59,19 @@ func Figures() []Figure {
 	}
 }
 
+// PlanUnion concatenates the run plans of figs in order — the campaign
+// prewarm input for a figure selection. Duplicate specs are fine:
+// Prewarm folds specs sharing a memo key before scheduling.
+func PlanUnion(figs []Figure) []RunSpec {
+	var specs []RunSpec
+	for _, f := range figs {
+		if f.Plan != nil {
+			specs = append(specs, f.Plan()...)
+		}
+	}
+	return specs
+}
+
 // FigureNames returns the registry names in presentation order.
 func FigureNames() []string {
 	var names []string

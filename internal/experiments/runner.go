@@ -20,12 +20,14 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"sync"
 	"time"
 
 	"hmg/internal/gsim"
 	"hmg/internal/proto"
+	"hmg/internal/resstore"
 	"hmg/internal/topo"
 	"hmg/internal/workload"
 )
@@ -50,6 +52,13 @@ type Options struct {
 	// Figure tables are independent of Jobs: parallelism only warms the
 	// memo cache faster.
 	Jobs int
+	// Store, when non-nil, is the persistent content-addressed result
+	// store backing the in-process memo cache as a second tier: cache
+	// misses consult the store before simulating, and successful runs
+	// are written back, so a repeated campaign only simulates its delta
+	// across processes and machines (`hmgbench -cachedir`). Failed runs
+	// are never stored, and damaged or stale records are re-simulated.
+	Store *resstore.Store
 	// Log receives progress lines (nil for silence). Writes are
 	// serialized by the Runner, so any io.Writer is safe.
 	Log io.Writer
@@ -80,17 +89,17 @@ func (o Options) withDefaults() Options {
 // traces or configurations. Zero values mean "use the default" and are
 // always accepted.
 func (o Options) validate() error {
-	if o.Scale < 0 || o.Scale > 1 {
-		return fmt.Errorf("experiments: Scale %v outside (0, 1]", o.Scale)
+	if math.IsNaN(o.Scale) || o.Scale < 0 || o.Scale > 1 {
+		return fmt.Errorf("experiments: Scale %v outside (0, 1] (zero selects the default)", o.Scale)
 	}
 	if o.SMsPerGPM < 0 {
-		return fmt.Errorf("experiments: SMsPerGPM %d must be positive", o.SMsPerGPM)
+		return fmt.Errorf("experiments: negative SMsPerGPM %d (zero selects the default)", o.SMsPerGPM)
 	}
 	if o.PageSizeKB < 0 {
-		return fmt.Errorf("experiments: PageSizeKB %d must be positive", o.PageSizeKB)
+		return fmt.Errorf("experiments: negative PageSizeKB %d (zero selects the default)", o.PageSizeKB)
 	}
 	if o.Jobs < 0 {
-		return fmt.Errorf("experiments: Jobs %d must be positive", o.Jobs)
+		return fmt.Errorf("experiments: negative Jobs %d (zero selects the default)", o.Jobs)
 	}
 	return nil
 }
@@ -179,6 +188,11 @@ type Summary struct {
 	// MemoHits counts requests served from the cache (including
 	// requests that blocked on an in-flight duplicate).
 	MemoHits int
+	// DiskHits, DiskMisses, and DiskWrites account the persistent store
+	// tier (all zero when Options.Store is nil): in-process cache
+	// misses served from disk, misses that fell through to a
+	// simulation, and successful runs written back.
+	DiskHits, DiskMisses, DiskWrites int
 	// SimCycles and Events total the simulated cycles and discrete
 	// events across unique runs.
 	SimCycles uint64
@@ -260,6 +274,19 @@ func (r *Runner) baseSpec() topo.Spec {
 // (e.g. Spec{NumGPUs: 4} on the Table II machine) shares a key with
 // plain runs.
 func (r *Runner) key(bench workload.Params, kind proto.Kind, v Variant, sp topo.Spec) runKey {
+	name := bench.Abbrev
+	if eff := r.effectiveSpec(sp); eff != r.baseSpec() {
+		name = fmt.Sprintf("%s@%s", name, eff)
+	}
+	return runKey{name, kind, canonicalVariant(kind, v)}
+}
+
+// canonicalVariant defaults v and canonicalizes away the directory
+// parameters non-hardware configurations cannot observe (software and
+// ideal points have no directories), so sweeps over directory size
+// reuse their runs. Both memo tiers — the in-process cache and the
+// content-addressed store — key on the canonical form.
+func canonicalVariant(kind proto.Kind, v Variant) Variant {
 	v = v.withDefaults()
 	if !proto.For(kind).Hardware {
 		def := Variant{}.withDefaults()
@@ -267,19 +294,38 @@ func (r *Runner) key(bench workload.Params, kind proto.Kind, v Variant, sp topo.
 		v.GranLines = def.GranLines
 		v.Downgrade = false
 	}
-	name := bench.Abbrev
+	return v
+}
+
+// effectiveSpec resolves a per-run topology override against the
+// campaign's base shape into the fully-specified machine shape the run
+// executes on.
+func (r *Runner) effectiveSpec(sp topo.Spec) topo.Spec {
 	base := r.baseSpec()
-	if eff := sp.Apply(topo.Topology{NumGPUs: base.NumGPUs, GPMsPerGPU: base.GPMsPerGPU}).Spec(); eff != base {
-		name = fmt.Sprintf("%s@%s", name, eff)
+	return sp.Apply(topo.Topology{NumGPUs: base.NumGPUs, GPMsPerGPU: base.GPMsPerGPU}).Spec()
+}
+
+// mevPerSec computes a log-only M-events/s rate. Zero or near-zero
+// wall time (coarse clocks can time a tiny run as 0) would print as
+// +Inf or NaN; those collapse to 0 instead.
+func mevPerSec(events uint64, secs float64) float64 {
+	rate := float64(events) / secs / 1e6
+	if secs <= 0 || math.IsInf(rate, 0) || math.IsNaN(rate) {
+		return 0
 	}
-	return runKey{name, kind, v}
+	return rate
 }
 
 // memoized serves key from the cache, executing sim exactly once across
 // all concurrent requesters of the same key (singleflight): duplicates
 // block until the owner's simulation completes and then share its
-// result.
-func (r *Runner) memoized(key runKey, sim func() (*gsim.Results, error)) (*gsim.Results, error) {
+// result. With Options.Store configured, a cache miss consults the
+// persistent store (under dk) before simulating, and a successful
+// simulation is written back. A failed simulation is published to the
+// waiters already blocked on it and then evicted, so the next request
+// for the key retries instead of replaying the stale error; failed runs
+// are never written to the store.
+func (r *Runner) memoized(key runKey, dk resstore.Key, sim func() (*gsim.Results, error)) (*gsim.Results, error) {
 	r.mu.Lock()
 	if e, ok := r.cache[key]; ok {
 		r.stats.MemoHits++
@@ -291,11 +337,33 @@ func (r *Runner) memoized(key runKey, sim func() (*gsim.Results, error)) (*gsim.
 	r.cache[key] = e
 	r.mu.Unlock()
 
+	st := r.opts.Store
+	if st != nil {
+		if res, ok := st.Get(dk); ok {
+			e.res = res
+			close(e.done)
+			r.mu.Lock()
+			r.stats.DiskHits++
+			r.mu.Unlock()
+			r.logf(" disk %-12s %-16v %9d cycles  %6.2f GB/s inter-GPU  (content-addressed store)\n",
+				key.bench, key.kind, res.Cycles, res.InterGPUGBs())
+			return res, nil
+		}
+		r.mu.Lock()
+		r.stats.DiskMisses++
+		r.mu.Unlock()
+	}
+
 	start := time.Now() //lint:allow determinism wall time feeds the campaign log and Summary.RunWall only, never figure bytes
 	e.res, e.err = sim()
 	wall := time.Since(start) //lint:allow determinism wall time feeds the campaign log and Summary.RunWall only, never figure bytes
 	close(e.done)
 	if e.err != nil {
+		r.mu.Lock()
+		if r.cache[key] == e {
+			delete(r.cache, key)
+		}
+		r.mu.Unlock()
 		return nil, e.err
 	}
 
@@ -305,9 +373,20 @@ func (r *Runner) memoized(key runKey, sim func() (*gsim.Results, error)) (*gsim.
 	r.stats.Events += e.res.EventsExecuted
 	r.stats.RunWall += wall
 	r.mu.Unlock()
-	mevps := float64(e.res.EventsExecuted) / wall.Seconds() / 1e6
+	if st != nil {
+		if err := st.Put(dk, e.res); err != nil {
+			// A full or read-only store degrades to a slower campaign,
+			// not a failed one.
+			r.logf("  store: %s/%v: %v\n", key.bench, key.kind, err)
+		} else {
+			r.mu.Lock()
+			r.stats.DiskWrites++
+			r.mu.Unlock()
+		}
+	}
 	r.logf("  ran %-12s %-16v %9d cycles  %6.2f GB/s inter-GPU  %6.2fs wall  %5.1f Mev/s\n",
-		key.bench, key.kind, e.res.Cycles, e.res.InterGPUGBs(), wall.Seconds(), mevps)
+		key.bench, key.kind, e.res.Cycles, e.res.InterGPUGBs(), wall.Seconds(),
+		mevPerSec(e.res.EventsExecuted, wall.Seconds()))
 	return e.res, nil
 }
 
@@ -343,7 +422,11 @@ func (r *Runner) Run(bench workload.Params, kind proto.Kind, v Variant) (*gsim.R
 // campaign's base shape.
 func (r *Runner) runAt(bench workload.Params, kind proto.Kind, v Variant, sp topo.Spec) (*gsim.Results, error) {
 	key := r.key(bench, kind, v, sp)
-	return r.memoized(key, func() (*gsim.Results, error) {
+	var dk resstore.Key
+	if r.opts.Store != nil {
+		dk = r.StoreKey(bench, kind, v, sp)
+	}
+	return r.memoized(key, dk, func() (*gsim.Results, error) {
 		return r.simulate(bench, kind, key.v, sp)
 	})
 }
@@ -423,8 +506,18 @@ func (r *Runner) Prewarm(specs []RunSpec) error {
 
 	elapsed := time.Since(start) //lint:allow determinism wall time feeds the prewarm log line only
 	after := r.Summary()
-	r.logf("prewarm: %d unique runs (%d duplicate specs folded) on %d workers in %.1fs, %.1f M events/s\n",
-		after.UniqueRuns-before.UniqueRuns, len(specs)-len(todo), jobs, elapsed.Seconds(),
-		float64(after.Events-before.Events)/elapsed.Seconds()/1e6)
+	simulated := after.UniqueRuns - before.UniqueRuns
+	rate := mevPerSec(after.Events-before.Events, elapsed.Seconds())
+	if r.opts.Store != nil {
+		// Delta mode: with a persistent store attached, report how much
+		// of the plan came off disk — after a one-figure change, the
+		// interesting number is how small the simulated delta was.
+		r.logf("prewarm: %d unique runs (%d duplicate specs folded) on %d workers in %.1fs, %.1f M events/s; %d served from disk store, %d simulated\n",
+			simulated+after.DiskHits-before.DiskHits, len(specs)-len(todo), jobs, elapsed.Seconds(), rate,
+			after.DiskHits-before.DiskHits, simulated)
+	} else {
+		r.logf("prewarm: %d unique runs (%d duplicate specs folded) on %d workers in %.1fs, %.1f M events/s\n",
+			simulated, len(specs)-len(todo), jobs, elapsed.Seconds(), rate)
+	}
 	return firstErr
 }

@@ -1,0 +1,116 @@
+package gsim
+
+import (
+	"reflect"
+	"testing"
+
+	"hmg/internal/engine"
+	"hmg/internal/proto"
+)
+
+// fullResults fills every field of Results with a distinct non-zero
+// value via reflection, so a field added to the struct but forgotten by
+// the codec fails the round-trip below instead of silently decoding to
+// zero.
+func fullResults(t *testing.T) *Results {
+	t.Helper()
+	r := &Results{}
+	v := reflect.ValueOf(r).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		salt := uint64(i + 3)
+		switch f.Kind() {
+		case reflect.String:
+			f.SetString("bench-αβ") // non-ASCII to exercise byte-exact strings
+		case reflect.Uint64:
+			f.SetUint(salt * 1_000_003)
+		case reflect.Int:
+			f.SetInt(int64(proto.HMG))
+		case reflect.Float64:
+			f.SetFloat(0.001953125 * float64(salt)) // exact binary fraction
+		case reflect.Slice:
+			f.Set(reflect.ValueOf([]engine.Cycle{7, 11, 1 << 40}))
+		default:
+			t.Fatalf("Results field %s has kind %v the codec test cannot fill — extend fullResults and the codec",
+				v.Type().Field(i).Name, f.Kind())
+		}
+	}
+	return r
+}
+
+func TestResultsCodecCoversEveryField(t *testing.T) {
+	want := fullResults(t)
+	buf, err := want.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalResults(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip lost data:\n got %+v\nwant %+v", got, want)
+	}
+	// The encoding is deterministic: same value, same bytes.
+	buf2, err := want.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != string(buf2) {
+		t.Fatal("MarshalBinary is not deterministic")
+	}
+}
+
+func TestResultsCodecZeroValue(t *testing.T) {
+	buf, err := (&Results{}).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalResults(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, &Results{}) {
+		t.Fatalf("zero round trip: %+v", got)
+	}
+}
+
+// TestResultsCodecRejectsDamage walks every truncation point and a byte
+// flip at every offset: decode must return an error or a value unequal
+// to the original — never panic, never silently accept damage that
+// changes the payload. (Some flips hit encoding slack, e.g. the high
+// bits of the float, and legitimately decode unequal.)
+func TestResultsCodecRejectsDamage(t *testing.T) {
+	want := fullResults(t)
+	buf, err := want.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(buf); cut++ {
+		if _, err := UnmarshalResults(buf[:cut]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes decoded without error", cut, len(buf))
+		}
+	}
+	for i := range buf {
+		mut := append([]byte(nil), buf...)
+		mut[i] ^= 0x40
+		got, err := UnmarshalResults(mut)
+		if err == nil && reflect.DeepEqual(got, want) {
+			t.Fatalf("flip at offset %d decoded equal to the original", i)
+		}
+	}
+	if _, err := UnmarshalResults(append(buf, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestResultsCodecVersionGate(t *testing.T) {
+	buf, err := (&Results{}).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = ResultsCodecVersion + 1
+	if _, err := UnmarshalResults(buf); err == nil {
+		t.Fatal("future codec version accepted")
+	}
+}

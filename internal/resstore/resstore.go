@@ -1,0 +1,192 @@
+// Package resstore is the on-disk content-addressed result store
+// behind the experiment campaign's second memo tier: simulation results
+// keyed by a SHA-256 digest of their canonicalized run specification
+// and a model-version stamp, so re-running a 21-figure campaign after a
+// one-figure change only simulates the delta — across processes and
+// machines, not just within one run. Byte-identical determinism (the
+// simulator produces the same Results for the same spec everywhere) is
+// what makes cached records safely shareable.
+//
+// Records are self-verifying: a fixed magic, the store's model-version
+// stamp, the payload length, and a SHA-256 payload digest precede the
+// gsim.Results binary encoding. A record that is missing, truncated,
+// corrupted, stamped with a stale model version, or undecodable is a
+// cache miss — the caller re-simulates; a damaged store can cost time
+// but never a wrong figure. Writes go through a temp file and rename,
+// so concurrent writers (or a crash mid-write) leave either the old
+// record or the new one, never a torn file.
+//
+// Layout: records fan out two levels deep by digest prefix
+// (root/ab/cd/abcd….res), keeping directories small at campaign scale.
+package resstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Key is the content address of one simulation run.
+type Key [sha256.Size]byte
+
+// String renders the key as lowercase hex, the record's file basename.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// SumKey hashes an ordered list of canonical string parts into a Key.
+// Each part is length-prefixed, so no two distinct part lists collide
+// by concatenation.
+func SumKey(parts ...string) Key {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		io.WriteString(h, p)
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// magic opens every record file; the trailing byte is the record format
+// version.
+var magic = [8]byte{'H', 'M', 'G', 'R', 'E', 'S', 0, 1}
+
+// Ext is the record file extension (tooling that corrupts or garbage-
+// collects entries globs on it).
+const Ext = ".res"
+
+// Store is an on-disk result store rooted at one directory. All
+// methods are safe for concurrent use by any number of processes.
+type Store struct {
+	root    string
+	version string
+}
+
+// Open returns a store rooted at dir, creating it if needed. version
+// is the model-version stamp: records written by a store with a
+// different stamp are treated as misses (the simulated model changed,
+// so their payloads describe a machine that no longer exists).
+func Open(dir, version string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("resstore: empty store directory")
+	}
+	if version == "" {
+		return nil, fmt.Errorf("resstore: empty model-version stamp")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resstore: %w", err)
+	}
+	return &Store{root: dir, version: version}, nil
+}
+
+// Version returns the model-version stamp the store was opened with.
+func (s *Store) Version() string { return s.version }
+
+// Path returns where a key's record lives (whether or not it exists).
+func (s *Store) Path(k Key) string {
+	hx := k.String()
+	return filepath.Join(s.root, hx[:2], hx[2:4], hx+Ext)
+}
+
+// GetBytes reads a key's verified payload. It returns (nil, false) on
+// any miss — absent, truncated, corrupt, or version-mismatched records
+// are all equally untrusted and never an error: the caller's recovery
+// is the same (re-simulate), and a store that could fail a campaign on
+// a damaged file would be worse than no store at all.
+func (s *Store) GetBytes(k Key) ([]byte, bool) {
+	buf, err := os.ReadFile(s.Path(k))
+	if err != nil {
+		return nil, false
+	}
+	payload, ok := parseRecord(buf, s.version)
+	return payload, ok
+}
+
+// parseRecord validates one record image and returns its payload.
+func parseRecord(buf []byte, version string) ([]byte, bool) {
+	if len(buf) < len(magic)+2 || !bytes.Equal(buf[:len(magic)], magic[:]) {
+		return nil, false
+	}
+	rest := buf[len(magic):]
+	vlen := int(binary.LittleEndian.Uint16(rest))
+	rest = rest[2:]
+	if len(rest) < vlen || string(rest[:vlen]) != version {
+		return nil, false
+	}
+	rest = rest[vlen:]
+	if len(rest) < 8+sha256.Size {
+		return nil, false
+	}
+	plen := binary.LittleEndian.Uint64(rest)
+	rest = rest[8:]
+	var digest [sha256.Size]byte
+	copy(digest[:], rest)
+	payload := rest[sha256.Size:]
+	if uint64(len(payload)) != plen || sha256.Sum256(payload) != digest {
+		return nil, false
+	}
+	return payload, true
+}
+
+// PutBytes writes a payload under a key, replacing any existing record.
+// The write is atomic (temp file + rename): readers see the old record
+// or the new one, never a partial file.
+func (s *Store) PutBytes(k Key, payload []byte) error {
+	if len(s.version) > 1<<16-1 {
+		return fmt.Errorf("resstore: model-version stamp longer than 64KiB")
+	}
+	path := s.Path(k)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("resstore: %w", err)
+	}
+	rec := make([]byte, 0, len(magic)+2+len(s.version)+8+sha256.Size+len(payload))
+	rec = append(rec, magic[:]...)
+	rec = binary.LittleEndian.AppendUint16(rec, uint16(len(s.version)))
+	rec = append(rec, s.version...)
+	rec = binary.LittleEndian.AppendUint64(rec, uint64(len(payload)))
+	digest := sha256.Sum256(payload)
+	rec = append(rec, digest[:]...)
+	rec = append(rec, payload...)
+
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("resstore: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(rec); err != nil {
+		tmp.Close()
+		return fmt.Errorf("resstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("resstore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("resstore: %w", err)
+	}
+	return nil
+}
+
+// Len counts the records currently on disk (verified or not); it is an
+// observability helper for tests and tooling, not a hot path.
+func (s *Store) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(s.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == Ext {
+			n++
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("resstore: %w", err)
+	}
+	return n, nil
+}

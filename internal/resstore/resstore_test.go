@@ -1,0 +1,242 @@
+package resstore
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hmg/internal/engine"
+	"hmg/internal/gsim"
+	"hmg/internal/proto"
+)
+
+func testStore(t *testing.T, version string) *Store {
+	t.Helper()
+	s, err := Open(filepath.Join(t.TempDir(), "store"), version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func sampleResults() *gsim.Results {
+	return &gsim.Results{
+		Name:           "lstm",
+		Protocol:       proto.HMG,
+		Cycles:         123456,
+		Seconds:        0.0125,
+		Ops:            9999,
+		L2Hits:         888,
+		InterGPUBytes:  1 << 30,
+		KernelCycles:   []engine.Cycle{100, 200, 300},
+		EventsExecuted: 424242,
+	}
+}
+
+func TestSumKeyDistinguishesParts(t *testing.T) {
+	a := SumKey("ab", "c")
+	b := SumKey("a", "bc")
+	c := SumKey("abc")
+	if a == b || a == c || b == c {
+		t.Fatalf("length-prefixed hashing collided: %v %v %v", a, b, c)
+	}
+	if SumKey("x", "y") != SumKey("x", "y") {
+		t.Fatal("SumKey is not deterministic")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := testStore(t, "model/v1")
+	k := SumKey("run1")
+	if _, ok := s.Get(k); ok {
+		t.Fatal("hit on an empty store")
+	}
+	want := sampleResults()
+	if err := s.Put(k, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(k)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip: got %+v, want %+v", got, want)
+	}
+	// Overwrite is idempotent and keys are independent.
+	if err := s.Put(k, want); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v; want 1 record", n, err)
+	}
+	if _, ok := s.Get(SumKey("run2")); ok {
+		t.Fatal("hit on a never-written key")
+	}
+}
+
+func TestPathFanOut(t *testing.T) {
+	s := testStore(t, "v")
+	k := SumKey("x")
+	hx := k.String()
+	want := filepath.Join(s.root, hx[:2], hx[2:4], hx+Ext)
+	if got := s.Path(k); got != want {
+		t.Fatalf("Path = %q, want %q", got, want)
+	}
+	if err := s.Put(k, sampleResults()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(want); err != nil {
+		t.Fatalf("record not at fan-out path: %v", err)
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(filepath.Dir(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file %q left after Put", e.Name())
+		}
+	}
+}
+
+// damage writes a mutated copy of the record and asserts Get misses
+// without panicking; then restores, proving the miss was the damage.
+func damage(t *testing.T, s *Store, k Key, what string, mutate func([]byte) []byte) {
+	t.Helper()
+	path := s.Path(k)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, mutate(append([]byte(nil), orig...)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); ok {
+		t.Fatalf("%s: damaged record served as a hit", what)
+	}
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); !ok {
+		t.Fatalf("%s: restored record misses — test harness bug", what)
+	}
+}
+
+func TestCorruptionIsAMiss(t *testing.T) {
+	s := testStore(t, "model/v1")
+	k := SumKey("victim")
+	if err := s.Put(k, sampleResults()); err != nil {
+		t.Fatal(err)
+	}
+	damage(t, s, k, "truncated to empty", func(b []byte) []byte { return nil })
+	damage(t, s, k, "truncated mid-header", func(b []byte) []byte { return b[:7] })
+	damage(t, s, k, "truncated by one byte", func(b []byte) []byte { return b[:len(b)-1] })
+	damage(t, s, k, "flipped payload byte", func(b []byte) []byte {
+		b[len(b)-1] ^= 0xFF
+		return b
+	})
+	damage(t, s, k, "flipped digest byte", func(b []byte) []byte {
+		b[len(b)-len(sampleResultsPayload(t))-1] ^= 0xFF
+		return b
+	})
+	damage(t, s, k, "bad magic", func(b []byte) []byte {
+		b[0] = 'X'
+		return b
+	})
+	damage(t, s, k, "appended garbage", func(b []byte) []byte { return append(b, 0xEE) })
+}
+
+func sampleResultsPayload(t *testing.T) []byte {
+	t.Helper()
+	p, err := sampleResults().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestTruncationSweep shears the record at every length: none may
+// panic or hit.
+func TestTruncationSweep(t *testing.T) {
+	s := testStore(t, "v1")
+	k := SumKey("sweep")
+	if err := s.Put(k, sampleResults()); err != nil {
+		t.Fatal(err)
+	}
+	path := s.Path(k)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(orig); cut++ {
+		if err := os.WriteFile(path, orig[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get(k); ok {
+			t.Fatalf("record truncated to %d/%d bytes served as a hit", cut, len(orig))
+		}
+	}
+}
+
+// TestStaleModelVersion: records written under one model stamp are
+// misses for a store opened with another — the simulated model changed,
+// so the cached figures describe a machine that no longer exists.
+func TestStaleModelVersion(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	v1, err := Open(dir, "model/v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := SumKey("run")
+	if err := v1.Put(k, sampleResults()); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := Open(dir, "model/v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := v2.Get(k); ok {
+		t.Fatal("v2 store trusted a v1-stamped record")
+	}
+	if _, ok := v1.Get(k); !ok {
+		t.Fatal("v1 store misses its own record")
+	}
+	// The v2 store re-populates over the stale record.
+	if err := v2.Put(k, sampleResults()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := v2.Get(k); !ok {
+		t.Fatal("v2 store misses after re-populating")
+	}
+	if _, ok := v1.Get(k); ok {
+		t.Fatal("v1 store trusted a v2-stamped record")
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open("", "v"); err == nil {
+		t.Fatal("Open accepted an empty directory")
+	}
+	if _, err := Open(t.TempDir(), ""); err == nil {
+		t.Fatal("Open accepted an empty model-version stamp")
+	}
+}
+
+// TestUndecodablePayloadIsAMiss plants a record whose framing verifies
+// (digest matches) but whose payload is not a Results encoding.
+func TestUndecodablePayloadIsAMiss(t *testing.T) {
+	s := testStore(t, "v1")
+	k := SumKey("junk")
+	if err := s.PutBytes(k, []byte{0xFF, 0x00, 0x13}); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.GetBytes(k); !ok || len(got) != 3 {
+		t.Fatal("byte layer should verify the junk payload")
+	}
+	if _, ok := s.Get(k); ok {
+		t.Fatal("undecodable payload served as a results hit")
+	}
+}

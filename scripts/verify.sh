@@ -31,10 +31,20 @@
 # against proto.DirCtrl — then each deliberate proto.Mutation bit is
 # injected and the diff must FAIL, proving the tier has teeth.
 #
+# The store tier runs the persistent content-addressed result store
+# (internal/resstore) through its acceptance flow at full campaign
+# scope: a cold `hmgbench -fig all -scale 0.25 -cachedir` populates a
+# scratch store, a warm rerun must execute zero simulations and emit
+# byte-identical tables, and a deliberately truncated record must be
+# re-simulated (to identical bytes again), never trusted.
+#
 # The perf tier runs cmd/hmgperf against the newest committed
 # BENCH_*.json baseline: simulated cycles, event counts, and
 # allocs/event must match exactly (the simulator is deterministic and
-# the hot path is zero-alloc); wall-clock drift only warns.
+# the hot path is zero-alloc); wall-clock drift only warns. It reuses
+# the store tier's populated -cachedir, which cross-checks every store
+# record it touches against the freshly measured cycles/events — a
+# second determinism tripwire.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -125,12 +135,44 @@ echo "scaling smoke: NHCC and HMG clean at 8x8 (64 global GPMs)"
 echo "== litmus fuzz smoke"
 go test ./internal/check -fuzz=FuzzLitmus -fuzztime=10s
 
-echo "== perf gate (hmgperf)"
+echo "== campaign store tier (cold populate, warm serves all from disk, corruption re-simulates)"
+HMGBENCH_BIN="$(dirname "$HMGLINT_BIN")/hmgbench"
+go build -o "$HMGBENCH_BIN" ./cmd/hmgbench
+STORE_SCRATCH="$(dirname "$HMGLINT_BIN")/store"
+RESSTORE_DIR="${HMG_RESSTORE_DIR:-$STORE_SCRATCH/resstore}"
+mkdir -p "$STORE_SCRATCH"
+echo "store stamp: $("$HMGBENCH_BIN" -storeversion)"
+"$HMGBENCH_BIN" -fig all -scale 0.25 -cachedir "$RESSTORE_DIR" -v \
+  > "$STORE_SCRATCH/cold.txt" 2> "$STORE_SCRATCH/cold.log"
+grep "^campaign:" "$STORE_SCRATCH/cold.log"
+"$HMGBENCH_BIN" -fig all -scale 0.25 -cachedir "$RESSTORE_DIR" -v \
+  > "$STORE_SCRATCH/warm.txt" 2> "$STORE_SCRATCH/warm.log"
+grep "^campaign:" "$STORE_SCRATCH/warm.log"
+cmp "$STORE_SCRATCH/cold.txt" "$STORE_SCRATCH/warm.txt"
+if ! grep -q "^campaign: 0 unique runs" "$STORE_SCRATCH/warm.log"; then
+  echo "warm campaign simulated runs the store should have served" >&2
+  exit 1
+fi
+# A damaged record must be a miss: truncate one and the rerun must
+# re-simulate exactly that run, to identical output bytes.
+VICTIM="$(find "$RESSTORE_DIR" -name '*.res' | sort | head -1)"
+truncate -s -1 "$VICTIM"
+"$HMGBENCH_BIN" -fig all -scale 0.25 -cachedir "$RESSTORE_DIR" -v \
+  > "$STORE_SCRATCH/healed.txt" 2> "$STORE_SCRATCH/healed.log"
+grep "^campaign:" "$STORE_SCRATCH/healed.log"
+cmp "$STORE_SCRATCH/cold.txt" "$STORE_SCRATCH/healed.txt"
+if ! grep -q "^campaign: 1 unique runs" "$STORE_SCRATCH/healed.log"; then
+  echo "truncated store record was not re-simulated (or took others with it)" >&2
+  exit 1
+fi
+echo "store: warm campaign byte-identical with 0 simulations; truncated record re-simulated"
+
+echo "== perf gate (hmgperf, cross-checked against the store)"
 BENCH_BASELINE="$(ls BENCH_*.json | sort | tail -1)"
 if [ -z "$BENCH_BASELINE" ]; then
   echo "no committed BENCH_*.json baseline found" >&2
   exit 1
 fi
-go run ./cmd/hmgperf -against "$BENCH_BASELINE"
+go run ./cmd/hmgperf -against "$BENCH_BASELINE" -cachedir "$RESSTORE_DIR"
 
 echo "verify OK"
